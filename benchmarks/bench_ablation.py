@@ -1,0 +1,79 @@
+"""Ablation: which rewrite families matter for tree-pattern detection.
+
+Not a paper table, but an experiment DESIGN.md calls out: toggle each
+Section 3 rule family (and the Section 4 merge rules) off in turn and
+measure (a) how many ``TupleTreePattern`` operators remain and (b) query
+evaluation time on the Section 5.1 workload.  Document-order removal and
+loop splitting are the load-bearing passes: without them the plans stay
+nested maps and never reach the single-pattern form.
+
+Run styles:
+
+* ``pytest benchmarks/bench_ablation.py --benchmark-only``;
+* ``python benchmarks/bench_ablation.py`` — prints the ablation grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.algebra.optimizer import OptimizerOptions
+from repro.bench import BASE_QUERY, generate_variants, render_table, scaled, time_call
+from repro.data import xmark_document
+from repro.rewrite import RewriteOptions
+
+CONFIGURATIONS = {
+    "full": (RewriteOptions(), OptimizerOptions()),
+    "no-typeswitch": (RewriteOptions(typeswitch=False), OptimizerOptions()),
+    "no-flwor": (RewriteOptions(flwor=False), OptimizerOptions()),
+    "no-docorder": (RewriteOptions(docorder=False), OptimizerOptions()),
+    "no-loopsplit": (RewriteOptions(loop_split=False), OptimizerOptions()),
+    "no-merge": (RewriteOptions(),
+                 OptimizerOptions(enable_merge=False)),
+    "no-ddo-removal": (RewriteOptions(),
+                       OptimizerOptions(enable_ddo_removal=False)),
+    "nothing": (RewriteOptions.none(),
+                OptimizerOptions(enable_tree_patterns=False)),
+}
+
+
+def engine_for(configuration, document) -> Engine:
+    rewrite_options, optimizer_options = CONFIGURATIONS[configuration]
+    return Engine(document, rewrite_options=rewrite_options,
+                  optimizer_options=optimizer_options)
+
+
+@pytest.mark.parametrize("configuration", sorted(CONFIGURATIONS))
+def test_ablation(benchmark, xmark_documents, configuration):
+    document = xmark_documents[max(xmark_documents)]
+    engine = engine_for(configuration, document)
+    plan = engine.compile(BASE_QUERY)
+    benchmark.extra_info["tree_patterns"] = plan.tree_pattern_count()
+    benchmark(lambda: engine.execute(plan))
+
+
+def generate_table(person_count=None, repeats=3) -> str:
+    person_count = person_count or scaled(200, 40)
+    document = xmark_document(person_count, seed=19992001)
+    variants = generate_variants()
+    cells = {}
+    rows = sorted(CONFIGURATIONS)
+    for configuration in rows:
+        engine = engine_for(configuration, document)
+        plan = engine.compile(BASE_QUERY)
+        cells[(configuration, "TTPs")] = float(plan.tree_pattern_count())
+        distinct = len({engine.compile(v).canonical_plan()
+                        for v in variants})
+        cells[(configuration, "plans/20")] = float(distinct)
+        cells[(configuration, "seconds")] = time_call(
+            lambda e=engine, p=plan: e.execute(p), repeats=repeats)
+    columns = ["TTPs", "plans/20", "seconds"]
+    return render_table(
+        "Ablation: rewrite families vs detection quality "
+        f"({person_count} persons)",
+        rows, columns, cells)
+
+
+if __name__ == "__main__":
+    print(generate_table())

@@ -1,0 +1,98 @@
+"""Figure 4: a path expression written as a FLWOR, with and without the
+rewrites.
+
+The paper's Figure 4 plots evaluation time of the Section 5.1 query —
+``$input/site/people/person[emailaddress]/profile/interest`` spelled as
+a FLWOR — on the old engine (no tree-pattern detection) versus the new
+engine, across document sizes: with the rewrites, every syntactic
+variant collapses to the same single ``TupleTreePattern`` plan and runs
+uniformly faster; without them, plans (and times) depend on the query's
+syntactic form.
+
+Run styles:
+
+* ``pytest benchmarks/bench_figure4.py --benchmark-only``;
+* ``python benchmarks/bench_figure4.py`` — prints the size series for
+  both engines, plus the plan-count evidence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.algebra.optimizer import OptimizerOptions
+from repro.bench import generate_variants, render_table, scaled, time_call
+from repro.data import xmark_document
+from repro.rewrite import RewriteOptions
+
+#: the FLWOR spelling used for the timed series (variant with every join
+#: as a for clause and a where clause — the farthest from a plain path).
+FLWOR_VARIANT = ("for $x1 in $input/site for $x2 in $x1/people "
+                 "for $x3 in $x2/person where $x3/emailaddress "
+                 "return $x3/profile/interest")
+
+
+def _new_engine(document) -> Engine:
+    return Engine(document)
+
+
+def _old_engine(document) -> Engine:
+    """The 'standard engine (with no TupleTreePattern operator)'."""
+    return Engine(document,
+                  rewrite_options=RewriteOptions.none(),
+                  optimizer_options=OptimizerOptions(
+                      enable_tree_patterns=False))
+
+
+@pytest.mark.parametrize("mode", ["with-rewrites", "without-rewrites"])
+def test_figure4(benchmark, xmark_documents, mode):
+    largest = max(xmark_documents)
+    document = xmark_documents[largest]
+    engine = (_new_engine if mode == "with-rewrites" else _old_engine)(
+        document)
+    plan = engine.compile(FLWOR_VARIANT)
+    benchmark.extra_info["tree_patterns"] = plan.tree_pattern_count()
+    benchmark.extra_info["persons"] = largest
+    benchmark(lambda: engine.execute(plan))
+
+
+def generate_figure(person_counts=None, repeats=3) -> str:
+    person_counts = person_counts or [scaled(60, 10), scaled(120, 20),
+                                      scaled(180, 30), scaled(240, 40),
+                                      scaled(300, 50)]
+    cells = {}
+    rows = []
+    for mode, factory in (("rewrites on", _new_engine),
+                          ("rewrites off", _old_engine)):
+        for variant_index, variant in enumerate(generate_variants()[:4]):
+            row = f"{mode} v{variant_index}"
+            rows.append(row)
+            for count in person_counts:
+                engine = factory(xmark_document(count, seed=19992001))
+                plan = engine.compile(variant)
+                seconds = time_call(lambda e=engine, p=plan: e.execute(p),
+                                    repeats=repeats)
+                cells[(row, f"{count}p")] = seconds
+    columns = [f"{count}p" for count in person_counts]
+    table = render_table(
+        "Figure 4. FLWOR-spelled path, with and without the rewrites",
+        rows, columns, cells)
+    # The structural claim behind the figure:
+    engine = _new_engine(xmark_document(person_counts[0], seed=19992001))
+    counts = {engine.compile(v).tree_pattern_count()
+              for v in generate_variants()}
+    old = _old_engine(xmark_document(person_counts[0], seed=19992001))
+    old_plans = {old.compile(v).canonical_plan()
+                 for v in generate_variants()}
+    new_plans = {engine.compile(v).canonical_plan()
+                 for v in generate_variants()}
+    summary = (f"\nnew engine: {sorted(counts)} TupleTreePattern(s) per "
+               f"variant, {len(new_plans)} distinct plan(s) over 20 "
+               f"variants\nold engine: {len(old_plans)} distinct plan(s) "
+               f"over 20 variants")
+    return table + summary
+
+
+if __name__ == "__main__":
+    print(generate_figure())

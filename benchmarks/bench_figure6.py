@@ -1,0 +1,69 @@
+"""Figure 6: XMark queries where child has been replaced with descendant.
+
+The paper's Figure 6 compares evaluation times of several XMark queries
+in their child-axis form against the semantically equivalent
+descendant-axis form, under the three algorithms.  The finding:
+"evaluating child axes does not penalize query performance in both
+TwigJoin and SCJoin", and turning child into descendant is sometimes
+beneficial.
+
+Run styles:
+
+* ``pytest benchmarks/bench_figure6.py --benchmark-only``;
+* ``python benchmarks/bench_figure6.py`` — prints the full grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.bench import STRATEGIES, STRATEGY_LABELS, render_table, scaled, time_call
+from repro.data import XMARK_CHILD_DESCENDANT_PAIRS, xmark_document
+
+
+@pytest.fixture(scope="module")
+def compiled(xmark_engine):
+    plans = {}
+    for name, child_form, descendant_form in XMARK_CHILD_DESCENDANT_PAIRS:
+        plans[f"{name}-child"] = xmark_engine.compile(child_form)
+        plans[f"{name}-desc"] = xmark_engine.compile(descendant_form)
+    return plans
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("axis_form", ["child", "desc"])
+@pytest.mark.parametrize(
+    "query_name", [pair[0] for pair in XMARK_CHILD_DESCENDANT_PAIRS])
+def test_figure6(benchmark, xmark_engine, compiled, query_name, axis_form,
+                 strategy):
+    plan = compiled[f"{query_name}-{axis_form}"]
+    benchmark.extra_info["query"] = plan.text
+    benchmark(lambda: xmark_engine.execute(plan, strategy=strategy))
+
+
+def generate_figure(person_count=None, repeats=3) -> str:
+    person_count = person_count or scaled(300, 50)
+    engine = Engine(xmark_document(person_count, seed=19992001))
+    cells = {}
+    rows = []
+    for name, child_form, descendant_form in XMARK_CHILD_DESCENDANT_PAIRS:
+        for axis_form, query in (("child", child_form),
+                                 ("desc", descendant_form)):
+            row = f"{name}-{axis_form}"
+            rows.append(row)
+            plan = engine.compile(query)
+            for strategy in STRATEGIES:
+                seconds = time_call(
+                    lambda p=plan, s=strategy: engine.execute(p, strategy=s),
+                    repeats=repeats)
+                cells[(row, STRATEGY_LABELS[strategy])] = seconds
+    columns = [STRATEGY_LABELS[s] for s in STRATEGIES]
+    return render_table(
+        f"Figure 6. XMark queries, child vs descendant forms "
+        f"({person_count} persons)",
+        rows, columns, cells, highlight_best_per_group=2)
+
+
+if __name__ == "__main__":
+    print(generate_figure())

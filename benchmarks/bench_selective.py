@@ -1,0 +1,79 @@
+"""Section 5.3: XPath evaluation in an XQuery context — ``(/t1[1])^k``.
+
+The paper's experiment: a MemBeR document of 50,000 nodes and depth 15,
+all elements named ``t1``; the queries ``(/t1[1])^k`` for k ∈ {5,10,15}.
+The positional predicates put the query outside the tree-pattern
+fragment, so the plan contains single-step ``TupleTreePattern``
+operators embedded in maps: TwigJoin and SCJoin re-scan the (single,
+document-sized) tag stream at every step while NLJoin only touches each
+context's children.
+
+Expected shape (the paper's table): NLJoin faster than both by orders of
+magnitude; SCJoin a constant factor faster than TwigJoin; times roughly
+flat in k for the stream-based algorithms.
+
+Run styles:
+
+* ``pytest benchmarks/bench_selective.py --benchmark-only``;
+* ``python benchmarks/bench_selective.py`` — prints the paper's 3×3
+  table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.bench import STRATEGIES, STRATEGY_LABELS, render_table, scaled, time_call
+from repro.data import deep_member_document
+
+K_VALUES = [5, 10, 15]
+
+
+def chain_query(k: int) -> str:
+    return "/" + "/".join(["t1[1]"] * k)
+
+
+@pytest.fixture(scope="module")
+def deep_engine(deep_document):
+    return Engine(deep_document)
+
+
+@pytest.fixture(scope="module")
+def compiled(deep_engine):
+    return {k: deep_engine.compile(chain_query(k)) for k in K_VALUES}
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_selective_chain(benchmark, deep_engine, compiled, k, strategy):
+    plan = compiled[k]
+    benchmark.extra_info["query"] = f"(/t1[1])^{k}"
+    benchmark(lambda: deep_engine.execute(plan, strategy=strategy))
+
+
+def generate_table(node_count=None, repeats=3) -> str:
+    node_count = node_count or scaled(20_000)
+    engine = Engine(deep_member_document(node_count, depth=15))
+    cells = {}
+    # ST = the Stack-Tree binary-join baseline, whose full-stream sweeps
+    # match the cost profile the paper reports for its SCJoin here.
+    labels = dict(STRATEGY_LABELS, stacktree="ST")
+    strategies = list(STRATEGIES) + ["stacktree"]
+    rows = [labels[s] for s in strategies]
+    for strategy in strategies:
+        for k in K_VALUES:
+            plan = engine.compile(chain_query(k))
+            seconds = time_call(
+                lambda p=plan, s=strategy: engine.execute(p, strategy=s),
+                repeats=repeats)
+            cells[(labels[strategy], f"k = {k}")] = seconds
+    columns = [f"k = {k}" for k in K_VALUES]
+    return render_table(
+        f"Section 5.3. (/t1[1])^k on a deep single-tag document "
+        f"({node_count} nodes, depth 15)",
+        rows, columns, cells)
+
+
+if __name__ == "__main__":
+    print(generate_table())

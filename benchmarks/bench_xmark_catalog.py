@@ -1,0 +1,62 @@
+"""The adapted XMark query catalog under every paper algorithm.
+
+A broader workload than Figure 6's path pairs: the access patterns of
+the XMark benchmark queries (projection-adapted; see
+``repro.bench.xmark_queries``), covering rooted paths, branching
+patterns, positional access, aggregation and value joins.
+
+Run styles:
+
+* ``pytest benchmarks/bench_xmark_catalog.py --benchmark-only``;
+* ``python benchmarks/bench_xmark_catalog.py`` — prints the full grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.bench import (STRATEGIES, STRATEGY_LABELS, XMARK_CATALOG,
+                         render_table, scaled, time_call)
+from repro.data import xmark_document
+
+#: value-join entries are quadratic under every strategy; benchmark the
+#: structural ones per-strategy and time joins once.
+STRUCTURAL = [name for name, entry in sorted(XMARK_CATALOG.items())
+              if not entry.join]
+
+
+@pytest.fixture(scope="module")
+def catalog_engine(xmark_documents):
+    return Engine(xmark_documents[max(xmark_documents)])
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("name", STRUCTURAL)
+def test_xmark_catalog(benchmark, catalog_engine, name, strategy):
+    plan = catalog_engine.compile(XMARK_CATALOG[name].query)
+    benchmark.extra_info["original"] = XMARK_CATALOG[name].original
+    benchmark(lambda: catalog_engine.execute(plan, strategy=strategy))
+
+
+def generate_table(person_count=None, repeats=3) -> str:
+    person_count = person_count or scaled(300, 50)
+    engine = Engine(xmark_document(person_count, seed=19992001))
+    cells = {}
+    rows = []
+    for name, entry in sorted(XMARK_CATALOG.items()):
+        rows.append(name)
+        plan = engine.compile(entry.query)
+        strategies = STRATEGIES if not entry.join else ["scjoin"]
+        for strategy in strategies:
+            cells[(name, STRATEGY_LABELS.get(strategy, strategy))] = \
+                time_call(lambda p=plan, s=strategy:
+                          engine.execute(p, strategy=s), repeats=repeats)
+    columns = [STRATEGY_LABELS[s] for s in STRATEGIES]
+    return render_table(
+        f"Adapted XMark catalog ({person_count} persons; joins: SC only)",
+        rows, columns, cells)
+
+
+if __name__ == "__main__":
+    print(generate_table())

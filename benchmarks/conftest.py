@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Documents are built once per session; sizes honour ``REPRO_SCALE`` (see
+``repro.bench.harness``).  Queries are compiled once and only execution
+is timed, mirroring the paper's evaluation-time measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.bench import scaled, table1_node_counts
+from repro.data import deep_member_document, member_document, xmark_document
+
+
+@pytest.fixture(scope="session")
+def table1_documents():
+    """The five MemBeR documents of Table 1 (scaled)."""
+    return {count: member_document(count, depth=4, tag_count=100,
+                                   seed=20070415)
+            for count in table1_node_counts()}
+
+
+@pytest.fixture(scope="session")
+def deep_document():
+    """The Section 5.3 document: deep, single-tag."""
+    return deep_member_document(scaled(20_000), depth=15)
+
+
+@pytest.fixture(scope="session")
+def xmark_documents():
+    """Five XMark documents of increasing size (Figures 4 and 6)."""
+    return {count: xmark_document(count, seed=19992001)
+            for count in (scaled(60, 10), scaled(120, 20), scaled(180, 30),
+                          scaled(240, 40), scaled(300, 50))}
+
+
+@pytest.fixture(scope="session")
+def xmark_engine(xmark_documents):
+    largest = max(xmark_documents)
+    return Engine(xmark_documents[largest])

@@ -1,0 +1,52 @@
+"""Regenerate every paper table and figure in one run.
+
+Usage::
+
+    python benchmarks/run_all.py            # scaled-down defaults
+    REPRO_SCALE=10 python benchmarks/run_all.py   # paper-sized workloads
+
+The output is the material recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import bench_ablation
+import bench_extensions
+import bench_figure4
+import bench_figure6
+import bench_selective
+import bench_table1
+import bench_xmark_catalog
+
+
+def main() -> int:
+    sections = [
+        ("Table 1 (Section 5.2)", bench_table1.generate_table),
+        ("Figure 4 (Section 5.1)", bench_figure4.generate_figure),
+        ("Figure 6 (Section 5.2)", bench_figure6.generate_figure),
+        ("Section 5.3 table", bench_selective.generate_table),
+        ("Ablation (DESIGN.md E5)", bench_ablation.generate_table),
+        ("Adapted XMark catalog (workload family)",
+         bench_xmark_catalog.generate_table),
+        ("Extensions: positional patterns (Section 7)",
+         bench_extensions.generate_positional_table),
+        ("Extensions: multi-variable patterns (Section 1)",
+         bench_extensions.generate_multi_output_table),
+        ("Extensions: cost-based choice (Section 7)",
+         bench_extensions.generate_chooser_table),
+    ]
+    for title, generate in sections:
+        start = time.perf_counter()
+        print("#" * 72)
+        print(f"# {title}")
+        print("#" * 72)
+        print(generate())
+        print(f"[generated in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

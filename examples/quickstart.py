@@ -1,0 +1,56 @@
+"""Quickstart: load a document, run queries, inspect the detected plan.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Engine
+
+CATALOG = """
+<catalog>
+  <book year="2003"><title>XQuery from the Experts</title>
+    <author>Katz</author><price>55</price></book>
+  <book year="2002"><title>Holistic Twig Joins</title>
+    <author>Bruno</author><author>Koudas</author><price>15</price></book>
+  <book year="2004"><title>Staircase Join</title>
+    <author>Grust</author><price>20</price></book>
+  <journal year="2007"><title>Put a Tree Pattern in Your Algebra</title>
+    <author>Michiels</author></journal>
+</catalog>
+"""
+
+
+def main() -> None:
+    engine = Engine.from_xml(CATALOG)
+
+    print("== All book titles (simple path) ==")
+    for title in engine.run("$input//book/title"):
+        print(" -", title.string_value())
+
+    print("\n== Books with more than one author (predicate) ==")
+    for title in engine.run("$input//book[author[2]]/title"):
+        print(" -", title.string_value())
+
+    print("\n== Cheap books, FLWOR spelling ==")
+    query = ("for $b in $input//book "
+             "where $b/price < 30 "
+             "return $b/title")
+    for title in engine.run(query):
+        print(" -", title.string_value())
+
+    print("\n== The same query under each tree-pattern algorithm ==")
+    for strategy in ("nljoin", "twigjoin", "scjoin", "auto"):
+        titles = [t.string_value()
+                  for t in engine.run(query, strategy=strategy)]
+        print(f" {strategy:>8}: {titles}")
+
+    print("\n== What the optimizer detected ==")
+    compiled = engine.compile("$input//book[author]/title")
+    print(f" {compiled.tree_pattern_count()} tree pattern(s):")
+    for pattern in compiled.tree_patterns():
+        print("  ", pattern.to_string())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "Put a Tree Pattern in Your Algebra" (ICDE 2007).
+
+An XQuery-fragment compiler and evaluator whose optimizer detects tree
+patterns algebraically (the paper's ``TupleTreePattern`` operator and
+rewriting rules) and executes them with pluggable physical algorithms:
+nested-loop navigation (NLJoin), holistic twig joins (TwigJoin) and
+staircase joins (SCJoin).
+
+Quickstart::
+
+    from repro import Engine
+
+    engine = Engine.from_xml("<doc><a><b/></a></doc>")
+    print(engine.run("$input//a[b]"))
+"""
+
+from .engine import CompiledQuery, Engine, execute_query, xpath
+from .pattern import TreePattern, parse_pattern
+from .physical import NLJoin, StaircaseJoin, Strategy, TwigJoin
+from .xmltree import IndexedDocument, parse_xml, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledQuery", "Engine", "execute_query", "xpath",
+    "TreePattern", "parse_pattern",
+    "NLJoin", "StaircaseJoin", "Strategy", "TwigJoin",
+    "IndexedDocument", "parse_xml", "serialize",
+    "__version__",
+]

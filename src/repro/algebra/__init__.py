@@ -1,0 +1,27 @@
+"""The tuple algebra: operators, compilation, optimization, evaluation."""
+
+from .compile import CompilationError, compile_core
+from .dot import pattern_to_dot, plan_to_dot
+from .eval import EvalContext, eval_item, eval_tuples, evaluate_plan
+from .ops import (Arith, Compare, Const, DDOPlan, FieldAccess, FnCall,
+                  IfPlan, InputTuple, ItemPlan, LetPlan, Logical,
+                  MapFromItem, MapToItem, Plan, Select, SeqPlan, TreeJoin,
+                  TuplePlan, TupleTreePattern, TypeswitchCase,
+                  TypeswitchPlan, VarPlan, count_operators, walk_plan)
+from .optimizer import OptimizerOptions, optimize_plan
+from .pretty import plan_canonical, plan_to_string
+from .runtime import DynamicError, effective_boolean_value
+
+__all__ = [
+    "CompilationError", "compile_core",
+    "pattern_to_dot", "plan_to_dot",
+    "EvalContext", "eval_item", "eval_tuples", "evaluate_plan",
+    "Arith", "Compare", "Const", "DDOPlan", "FieldAccess", "FnCall",
+    "IfPlan", "InputTuple", "ItemPlan", "LetPlan", "Logical",
+    "MapFromItem", "MapToItem", "Plan", "Select", "SeqPlan", "TreeJoin",
+    "TuplePlan", "TupleTreePattern", "TypeswitchCase", "TypeswitchPlan",
+    "VarPlan", "count_operators", "walk_plan",
+    "OptimizerOptions", "optimize_plan",
+    "plan_canonical", "plan_to_string",
+    "DynamicError", "effective_boolean_value",
+]

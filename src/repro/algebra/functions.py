@@ -1,0 +1,221 @@
+"""The built-in function library (the ``fn:``/``op:`` calls the
+normalizer emits)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..xmltree.document import ddo
+from ..xmltree.node import Node
+from .runtime import (DynamicError, Sequence_, atomize,
+                      effective_boolean_value, numeric_value, string_value)
+
+
+def _fn_count(args: List[Sequence_]) -> Sequence_:
+    return [len(args[0])]
+
+
+def _fn_boolean(args: List[Sequence_]) -> Sequence_:
+    return [effective_boolean_value(args[0])]
+
+
+def _fn_not(args: List[Sequence_]) -> Sequence_:
+    return [not effective_boolean_value(args[0])]
+
+
+def _fn_exists(args: List[Sequence_]) -> Sequence_:
+    return [bool(args[0])]
+
+
+def _fn_empty(args: List[Sequence_]) -> Sequence_:
+    return [not args[0]]
+
+
+def _fn_true(args: List[Sequence_]) -> Sequence_:
+    return [True]
+
+
+def _fn_false(args: List[Sequence_]) -> Sequence_:
+    return [False]
+
+
+def _fn_root(args: List[Sequence_]) -> Sequence_:
+    result = []
+    for item in args[0]:
+        if not isinstance(item, Node):
+            raise DynamicError("fn:root applied to a non-node")
+        result.append(item.root())
+    return ddo(result)
+
+
+def _fn_string(args: List[Sequence_]) -> Sequence_:
+    return [string_value(args[0])]
+
+
+def _fn_data(args: List[Sequence_]) -> Sequence_:
+    return atomize(args[0])
+
+
+def _fn_name(args: List[Sequence_]) -> Sequence_:
+    if not args[0]:
+        return [""]
+    item = args[0][0]
+    if not isinstance(item, Node):
+        raise DynamicError("fn:name applied to a non-node")
+    return [item.name or ""]
+
+
+def _fn_concat(args: List[Sequence_]) -> Sequence_:
+    return ["".join(string_value(arg) for arg in args)]
+
+
+def _fn_contains(args: List[Sequence_]) -> Sequence_:
+    return [string_value(args[1]) in string_value(args[0])]
+
+
+def _fn_starts_with(args: List[Sequence_]) -> Sequence_:
+    return [string_value(args[0]).startswith(string_value(args[1]))]
+
+
+def _fn_string_length(args: List[Sequence_]) -> Sequence_:
+    return [len(string_value(args[0]))]
+
+
+def _fn_number(args: List[Sequence_]) -> Sequence_:
+    value = numeric_value(args[0], "fn:number")
+    return [] if value is None else [value]
+
+
+def _fn_sum(args: List[Sequence_]) -> Sequence_:
+    atoms = atomize(args[0])
+    total: float = 0
+    for atom in atoms:
+        value = numeric_value([atom], "fn:sum item")
+        if value is not None:
+            total += value
+    return [int(total) if isinstance(total, float) and total.is_integer()
+            else total]
+
+
+def _aggregate(args: List[Sequence_], picker) -> Sequence_:
+    atoms = [numeric_value([atom], "aggregate item")
+             for atom in atomize(args[0])]
+    atoms = [atom for atom in atoms if atom is not None]
+    if not atoms:
+        return []
+    return [picker(atoms)]
+
+
+def _fn_min(args: List[Sequence_]) -> Sequence_:
+    return _aggregate(args, min)
+
+
+def _fn_max(args: List[Sequence_]) -> Sequence_:
+    return _aggregate(args, max)
+
+
+def _fn_avg(args: List[Sequence_]) -> Sequence_:
+    atoms = [numeric_value([atom], "fn:avg item")
+             for atom in atomize(args[0])]
+    atoms = [atom for atom in atoms if atom is not None]
+    if not atoms:
+        return []
+    return [sum(atoms) / len(atoms)]
+
+
+def _fn_distinct_values(args: List[Sequence_]) -> Sequence_:
+    seen = set()
+    result: Sequence_ = []
+    for atom in atomize(args[0]):
+        key = (type(atom).__name__, atom)
+        if key not in seen:
+            seen.add(key)
+            result.append(atom)
+    return result
+
+
+def _fn_reverse(args: List[Sequence_]) -> Sequence_:
+    return list(reversed(args[0]))
+
+
+def _fn_subsequence(args: List[Sequence_]) -> Sequence_:
+    start = numeric_value(args[1], "fn:subsequence start")
+    if start is None:
+        return []
+    begin = max(int(start) - 1, 0)
+    if len(args) > 2:
+        length = numeric_value(args[2], "fn:subsequence length")
+        if length is None:
+            return []
+        return args[0][begin:begin + int(length)]
+    return args[0][begin:]
+
+
+def _fn_zero_or_one(args: List[Sequence_]) -> Sequence_:
+    if len(args[0]) > 1:
+        raise DynamicError("fn:zero-or-one: more than one item")
+    return args[0]
+
+
+def _fn_exactly_one(args: List[Sequence_]) -> Sequence_:
+    if len(args[0]) != 1:
+        raise DynamicError("fn:exactly-one: not exactly one item")
+    return args[0]
+
+
+def _op_to(args: List[Sequence_]) -> Sequence_:
+    low = numeric_value(args[0], "op:to low")
+    high = numeric_value(args[1], "op:to high")
+    if low is None or high is None:
+        return []
+    return list(range(int(low), int(high) + 1))
+
+
+def _op_union(args: List[Sequence_]) -> Sequence_:
+    combined: list[Node] = []
+    for arg in args:
+        for item in arg:
+            if not isinstance(item, Node):
+                raise DynamicError("union over non-nodes")
+            combined.append(item)
+    return ddo(combined)
+
+
+FUNCTIONS: Dict[str, Callable[[List[Sequence_]], Sequence_]] = {
+    "fn:count": _fn_count,
+    "fn:boolean": _fn_boolean,
+    "fn:not": _fn_not,
+    "fn:exists": _fn_exists,
+    "fn:empty": _fn_empty,
+    "fn:true": _fn_true,
+    "fn:false": _fn_false,
+    "fn:root": _fn_root,
+    "fn:string": _fn_string,
+    "fn:data": _fn_data,
+    "fn:name": _fn_name,
+    "fn:local-name": _fn_name,
+    "fn:concat": _fn_concat,
+    "fn:contains": _fn_contains,
+    "fn:starts-with": _fn_starts_with,
+    "fn:string-length": _fn_string_length,
+    "fn:number": _fn_number,
+    "fn:sum": _fn_sum,
+    "fn:min": _fn_min,
+    "fn:max": _fn_max,
+    "fn:avg": _fn_avg,
+    "fn:distinct-values": _fn_distinct_values,
+    "fn:reverse": _fn_reverse,
+    "fn:subsequence": _fn_subsequence,
+    "fn:zero-or-one": _fn_zero_or_one,
+    "fn:exactly-one": _fn_exactly_one,
+    "op:to": _op_to,
+    "op:union": _op_union,
+}
+
+
+def call_function(name: str, args: List[Sequence_]) -> Sequence_:
+    try:
+        implementation = FUNCTIONS[name]
+    except KeyError as error:
+        raise DynamicError(f"unknown function {name}") from error
+    return implementation(args)

@@ -1,0 +1,368 @@
+"""The tuple algebra, extended with ``TupleTreePattern`` (paper Section 4).
+
+The algebra is two-sorted, following [28] (Re, Siméon & Fernández):
+
+* *item plans* produce sequences of XDM items;
+* *tuple plans* produce streams of tuples (finite maps from field names
+  to item sequences).
+
+Dependent sub-plans (written in curly braces in the paper's functional
+notation) are evaluated once per tuple/item of the operator's input;
+``IN`` denotes the current tuple (the :class:`InputTuple` leaf for
+tuple-sorted positions, :class:`FieldAccess` for field reads).
+
+The operator set:
+
+=====================  ======  ====================================================
+operator               sort    meaning
+=====================  ======  ====================================================
+``Const``              item    a constant sequence
+``VarPlan``            item    a variable (external binding or ``LetPlan``)
+``FieldAccess``        item    ``IN#f`` — read field ``f`` of the current tuple
+``TreeJoin``           item    navigational step ``axis::test`` over an item plan
+``DDOPlan``            item    ``fs:ddo`` — document order + duplicate removal
+``MapToItem``          item    concatenate a dependent item plan over tuples
+``FnCall``             item    built-in function call
+``Compare``            item    general comparison (existential)
+``Logical``            item    ``and`` / ``or`` over effective boolean values
+``Arith``              item    arithmetic
+``IfPlan``             item    conditional
+``LetPlan``            item    local binding
+``SeqPlan``            item    sequence construction
+``TypeswitchPlan``     item    residual runtime type dispatch
+``InputTuple``         tuple   ``IN`` — the current tuple, as a one-tuple stream
+``MapFromItem``        tuple   build ``[field : IN]`` tuples from an item plan
+``Select``             tuple   filter tuples by a dependent predicate
+``TupleTreePattern``   tuple   the paper's tree-pattern operator
+=====================  ======  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..pattern import TreePattern
+from ..xmltree.axes import Axis
+from ..xmltree.nodetest import NodeTest
+from ..xqcore.cast import Var
+
+
+class Plan:
+    """Base class of all algebraic operators."""
+
+    sort = "item"  # overridden to "tuple" by tuple operators
+
+    def children(self) -> Sequence["Plan"]:
+        raise NotImplementedError
+
+    def replace_children(self, new_children: Sequence["Plan"]) -> "Plan":
+        raise NotImplementedError
+
+
+class ItemPlan(Plan):
+    sort = "item"
+
+
+class TuplePlan(Plan):
+    sort = "tuple"
+
+
+# -- item operators -----------------------------------------------------------
+
+
+@dataclass
+class Const(ItemPlan):
+    """A constant item sequence."""
+
+    values: Tuple[Union[str, int, float, bool], ...]
+
+    def children(self) -> Sequence[Plan]:
+        return ()
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "Const":
+        return Const(self.values)
+
+
+@dataclass
+class VarPlan(ItemPlan):
+    """A variable reference (external binding or ``LetPlan`` binding)."""
+
+    var: Var
+
+    def children(self) -> Sequence[Plan]:
+        return ()
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "VarPlan":
+        return VarPlan(self.var)
+
+
+@dataclass
+class FieldAccess(ItemPlan):
+    """``IN#field`` — the field's item sequence in the current tuple."""
+
+    field: str
+
+    def children(self) -> Sequence[Plan]:
+        return ()
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "FieldAccess":
+        return FieldAccess(self.field)
+
+
+@dataclass
+class TreeJoin(ItemPlan):
+    """Navigational step: apply ``axis::test`` to each input item."""
+
+    axis: Axis
+    test: NodeTest
+    input: ItemPlan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.input,)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "TreeJoin":
+        (input_plan,) = new_children
+        return TreeJoin(self.axis, self.test, input_plan)
+
+
+@dataclass
+class DDOPlan(ItemPlan):
+    """``fs:ddo`` over an item plan."""
+
+    input: ItemPlan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.input,)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "DDOPlan":
+        (input_plan,) = new_children
+        return DDOPlan(input_plan)
+
+
+@dataclass
+class MapToItem(ItemPlan):
+    """Evaluate ``dep`` per input tuple, concatenating the results."""
+
+    dep: ItemPlan
+    input: TuplePlan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.dep, self.input)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "MapToItem":
+        dep, input_plan = new_children
+        return MapToItem(dep, input_plan)
+
+
+@dataclass
+class FnCall(ItemPlan):
+    name: str
+    args: List[ItemPlan]
+
+    def children(self) -> Sequence[Plan]:
+        return self.args
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "FnCall":
+        return FnCall(self.name, list(new_children))
+
+
+@dataclass
+class Compare(ItemPlan):
+    op: str
+    left: ItemPlan
+    right: ItemPlan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.left, self.right)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "Compare":
+        left, right = new_children
+        return Compare(self.op, left, right)
+
+
+@dataclass
+class Logical(ItemPlan):
+    op: str
+    left: ItemPlan
+    right: ItemPlan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.left, self.right)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "Logical":
+        left, right = new_children
+        return Logical(self.op, left, right)
+
+
+@dataclass
+class Arith(ItemPlan):
+    op: str
+    left: ItemPlan
+    right: ItemPlan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.left, self.right)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "Arith":
+        left, right = new_children
+        return Arith(self.op, left, right)
+
+
+@dataclass
+class IfPlan(ItemPlan):
+    condition: ItemPlan
+    then_branch: ItemPlan
+    else_branch: ItemPlan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.condition, self.then_branch, self.else_branch)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "IfPlan":
+        condition, then_branch, else_branch = new_children
+        return IfPlan(condition, then_branch, else_branch)
+
+
+@dataclass
+class LetPlan(ItemPlan):
+    var: Var
+    value: ItemPlan
+    body: ItemPlan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.value, self.body)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "LetPlan":
+        value, body = new_children
+        return LetPlan(self.var, value, body)
+
+
+@dataclass
+class SeqPlan(ItemPlan):
+    items: List[ItemPlan]
+
+    def children(self) -> Sequence[Plan]:
+        return self.items
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "SeqPlan":
+        return SeqPlan(list(new_children))
+
+
+@dataclass
+class TypeswitchCase:
+    seqtype: str
+    var: Var
+    body: ItemPlan
+
+
+@dataclass
+class TypeswitchPlan(ItemPlan):
+    """Residual runtime type dispatch (rarely survives optimization)."""
+
+    input: ItemPlan
+    cases: List[TypeswitchCase]
+    default_var: Var
+    default_body: ItemPlan
+
+    def children(self) -> Sequence[Plan]:
+        parts: list[Plan] = [self.input]
+        parts.extend(case.body for case in self.cases)
+        parts.append(self.default_body)
+        return parts
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "TypeswitchPlan":
+        input_plan = new_children[0]
+        bodies = new_children[1:-1]
+        default_body = new_children[-1]
+        cases = [TypeswitchCase(case.seqtype, case.var, body)
+                 for case, body in zip(self.cases, bodies)]
+        return TypeswitchPlan(input_plan, cases, self.default_var, default_body)
+
+
+# -- tuple operators ----------------------------------------------------------
+
+
+@dataclass
+class InputTuple(TuplePlan):
+    """``IN`` in tuple position: the current tuple as a one-tuple stream."""
+
+    def children(self) -> Sequence[Plan]:
+        return ()
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "InputTuple":
+        return InputTuple()
+
+
+@dataclass
+class MapFromItem(TuplePlan):
+    """``MapFromItem{[field : IN]}(input)`` — one tuple per input item.
+
+    ``index_field``, when set, additionally binds the 1-based position of
+    the item (used to compile ``for ... at $i``).
+    """
+
+    bind_field: str
+    input: ItemPlan
+    index_field: Optional[str] = None
+
+    def children(self) -> Sequence[Plan]:
+        return (self.input,)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "MapFromItem":
+        (input_plan,) = new_children
+        return MapFromItem(self.bind_field, input_plan, self.index_field)
+
+
+@dataclass
+class Select(TuplePlan):
+    """Keep the tuples whose dependent predicate has EBV true."""
+
+    predicate: ItemPlan
+    input: TuplePlan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.predicate, self.input)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "Select":
+        predicate, input_plan = new_children
+        return Select(predicate, input_plan)
+
+
+@dataclass
+class TupleTreePattern(TuplePlan):
+    """The tree-pattern operator (paper Section 4.1).
+
+    For each input tuple, evaluates the pattern against the context
+    nodes held in the pattern's input field and emits one output tuple
+    per match: the input tuple extended with the pattern's output
+    fields.  With a single output field on the extraction point, the
+    per-tuple result follows XPath semantics (document order, no
+    duplicates); with several output fields, bindings come in
+    root-to-leaf lexical order, consistent with TwigJoins.
+    """
+
+    pattern: TreePattern
+    input: TuplePlan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.input,)
+
+    def replace_children(self, new_children: Sequence[Plan]) -> "TupleTreePattern":
+        (input_plan,) = new_children
+        return TupleTreePattern(self.pattern, input_plan)
+
+
+def walk_plan(plan: Plan):
+    """All operators of a plan, pre-order."""
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def count_operators(plan: Plan, kind: type | None = None) -> int:
+    """Number of operators (optionally of one class) in a plan."""
+    if kind is None:
+        return sum(1 for _ in walk_plan(plan))
+    return sum(1 for node in walk_plan(plan) if isinstance(node, kind))

@@ -1,0 +1,178 @@
+"""Plan printing in the paper's functional notation.
+
+Example (the paper's P5)::
+
+    MapToItem{IN#out}
+    (TupleTreePattern
+      [IN#dot/descendant::person[child::emailaddress]/child::name{out}]
+      (MapFromItem{[dot : IN]}($d)))
+
+:func:`plan_canonical` renames tuple fields and variables in a canonical
+traversal order, giving a string that is identical for plans equal up to
+renaming — this is what the Section 5.1 experiment compares across the
+twenty syntactic variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..pattern import PatternPath, PatternStep, TreePattern
+from ..xqcore.cast import Var
+from .ops import (Arith, Compare, Const, DDOPlan, FieldAccess, FnCall,
+                  IfPlan, InputTuple, LetPlan, Logical, MapFromItem,
+                  MapToItem, Plan, Select, SeqPlan, TreeJoin,
+                  TupleTreePattern, TypeswitchPlan, VarPlan, walk_plan)
+
+
+def plan_to_string(plan: Plan, indent: int = 0) -> str:
+    """Render a plan with the original field/variable names."""
+    return _Renderer(field_names=None, var_names=None).render(plan, indent)
+
+
+def plan_canonical(plan: Plan) -> str:
+    """A canonical rendering, invariant under field/variable renaming."""
+    field_names: Dict[str, str] = {}
+    var_names: Dict[Var, str] = {}
+    for node in walk_plan(plan):
+        if isinstance(node, FieldAccess):
+            _intern(field_names, node.field)
+        elif isinstance(node, MapFromItem):
+            _intern(field_names, node.bind_field)
+            if node.index_field is not None:
+                _intern(field_names, node.index_field)
+        elif isinstance(node, TupleTreePattern):
+            _intern(field_names, node.pattern.input_field)
+            for out in node.pattern.output_fields():
+                _intern(field_names, out)
+        elif isinstance(node, (VarPlan, LetPlan)):
+            var = node.var
+            if var not in var_names:
+                var_names[var] = f"v{len(var_names)}"
+        elif isinstance(node, TypeswitchPlan):
+            for case in node.cases:
+                if case.var not in var_names:
+                    var_names[case.var] = f"v{len(var_names)}"
+            if node.default_var not in var_names:
+                var_names[node.default_var] = f"v{len(var_names)}"
+    return _Renderer(field_names, var_names).render(plan, 0)
+
+
+def _intern(table: Dict[str, str], name: str) -> None:
+    if name not in table:
+        table[name] = f"f{len(table)}"
+
+
+class _Renderer:
+    def __init__(self, field_names: Dict[str, str] | None,
+                 var_names: Dict[Var, str] | None) -> None:
+        self.field_names = field_names
+        self.var_names = var_names
+
+    def field(self, name: str) -> str:
+        if self.field_names is None:
+            return name
+        return self.field_names.get(name, name)
+
+    def var(self, var: Var) -> str:
+        if self.var_names is None:
+            return f"${var.name}"
+        return "$" + self.var_names.get(var, var.name)
+
+    def pattern(self, pattern: TreePattern) -> str:
+        return (f"IN#{self.field(pattern.input_field)}/"
+                + self.path(pattern.path))
+
+    def path(self, path: PatternPath) -> str:
+        return "/".join(self.step(step) for step in path.steps)
+
+    def step(self, step: PatternStep) -> str:
+        text = f"{step.axis.value}::{step.test.to_string()}"
+        if step.output_field is not None:
+            text += "{" + self.field(step.output_field) + "}"
+        for predicate in step.predicates:
+            text += "[" + self.path(predicate) + "]"
+        if step.position is not None:
+            text += f"[{step.position}]"
+        return text
+
+    def render(self, plan: Plan, depth: int) -> str:
+        pad = "  " * depth
+        if isinstance(plan, Const):
+            if len(plan.values) == 1:
+                return pad + _render_value(plan.values[0])
+            return pad + "(" + ", ".join(_render_value(value)
+                                         for value in plan.values) + ")"
+        if isinstance(plan, VarPlan):
+            return pad + self.var(plan.var)
+        if isinstance(plan, FieldAccess):
+            return pad + f"IN#{self.field(plan.field)}"
+        if isinstance(plan, InputTuple):
+            return pad + "IN"
+        if isinstance(plan, TreeJoin):
+            inner = self.render(plan.input, 0)
+            return (f"{pad}TreeJoin[{plan.axis.value}::"
+                    f"{plan.test.to_string()}]({inner})")
+        if isinstance(plan, DDOPlan):
+            inner = self.render(plan.input, depth + 1).lstrip()
+            return f"{pad}fs:ddo({inner})"
+        if isinstance(plan, MapToItem):
+            dep = self.render(plan.dep, 0)
+            inner = self.render(plan.input, depth + 1)
+            return f"{pad}MapToItem{{{dep}}}\n{inner}"
+        if isinstance(plan, MapFromItem):
+            index = (f"; {self.field(plan.index_field)} : INDEX"
+                     if plan.index_field is not None else "")
+            inner = self.render(plan.input, 0)
+            return (f"{pad}MapFromItem{{[{self.field(plan.bind_field)} : "
+                    f"IN{index}]}}({inner})")
+        if isinstance(plan, Select):
+            predicate = self.render(plan.predicate, 0)
+            inner = self.render(plan.input, depth + 1)
+            return f"{pad}Select{{{predicate}}}\n{inner}"
+        if isinstance(plan, TupleTreePattern):
+            inner = self.render(plan.input, depth + 1)
+            return (f"{pad}TupleTreePattern\n{pad}  "
+                    f"[{self.pattern(plan.pattern)}]\n{inner}")
+        if isinstance(plan, FnCall):
+            args = ", ".join(self.render(arg, 0) for arg in plan.args)
+            return f"{pad}{plan.name}({args})"
+        if isinstance(plan, Compare):
+            return (pad + self.render(plan.left, 0) + f" {plan.op} "
+                    + self.render(plan.right, 0))
+        if isinstance(plan, Logical):
+            return (pad + "(" + self.render(plan.left, 0) + f" {plan.op} "
+                    + self.render(plan.right, 0) + ")")
+        if isinstance(plan, Arith):
+            return (pad + "(" + self.render(plan.left, 0) + f" {plan.op} "
+                    + self.render(plan.right, 0) + ")")
+        if isinstance(plan, IfPlan):
+            return (pad + "If{" + self.render(plan.condition, 0) + "}("
+                    + self.render(plan.then_branch, 0) + "; "
+                    + self.render(plan.else_branch, 0) + ")")
+        if isinstance(plan, LetPlan):
+            value = self.render(plan.value, 0)
+            body = self.render(plan.body, depth + 1)
+            return f"{pad}Let[{self.var(plan.var)} := {value}]\n{body}"
+        if isinstance(plan, SeqPlan):
+            items = "; ".join(self.render(item, 0) for item in plan.items)
+            return f"{pad}Seq({items})"
+        if isinstance(plan, TypeswitchPlan):
+            parts = [f"{pad}Typeswitch{{{self.render(plan.input, 0)}}}("]
+            for case in plan.cases:
+                parts.append(f"{pad}  case {self.var(case.var)} as "
+                             f"{case.seqtype}(): "
+                             + self.render(case.body, 0))
+            parts.append(f"{pad}  default {self.var(plan.default_var)}: "
+                         + self.render(plan.default_body, 0))
+            parts.append(f"{pad})")
+            return "\n".join(parts)
+        raise TypeError(f"cannot render {type(plan).__name__}")
+
+
+def _render_value(value) -> str:
+    if isinstance(value, str):
+        return '"' + value.replace('"', '""') + '"'
+    if isinstance(value, bool):
+        return "fn:true()" if value else "fn:false()"
+    return repr(value)

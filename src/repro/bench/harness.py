@@ -1,0 +1,124 @@
+"""Benchmark harness utilities.
+
+Provides the pieces every experiment shares: scaled workload sizes, the
+QE1–QE6 query set (paper Figure 5), timing helpers and paper-style table
+rendering.
+
+Scaling: the paper ran on 2.1–11 MB documents under OCaml; a pure-Python
+interpreter is 1–2 orders of magnitude slower per node, so the default
+document sizes are ~10× smaller, keeping the five-point size *series*.
+Set ``REPRO_SCALE`` (a float multiplier, default 1.0) to grow or shrink
+every workload, e.g. ``REPRO_SCALE=10`` approximates the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+#: the paper's Figure 5 queries, verbatim modulo the ``$input`` variable.
+QE_QUERIES: Dict[str, str] = {
+    "QE1": "$input/desc::t01[child::t02[child::t03[child::t04]]]",
+    "QE2": "$input/desc::t01/child::t02[1]/child::t03[child::t04]",
+    "QE3": "$input/desc::t01[child::t02[child::t03]/child::t04[child::t03]]",
+    "QE4": "$input/desc::t01[desc::t02[desc::t03[desc::t04]]]",
+    "QE5": "$input/desc::t01/desc::t02[1]/desc::t03[desc::t04]",
+    "QE6": "$input/desc::t01[desc::t02[desc::t03]/desc::t04[desc::t03]]",
+}
+
+#: the paper's Table 1 document sizes, as labels.
+TABLE1_SIZE_LABELS = ["2.1 MB", "4.3 MB", "6.5 MB", "8.7 MB", "11 MB"]
+
+#: node counts that stand in for those sizes at scale 1.0 (≈10× smaller
+#: than the originals; see module docstring).
+TABLE1_BASE_NODE_COUNTS = [4_000, 8_000, 12_000, 16_000, 20_000]
+
+STRATEGIES = ["nljoin", "twigjoin", "scjoin"]
+STRATEGY_LABELS = {"nljoin": "NL", "twigjoin": "TJ", "scjoin": "SC"}
+
+
+def scale() -> float:
+    """The global workload multiplier from ``REPRO_SCALE``."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled(count: int, minimum: int = 50) -> int:
+    return max(int(count * scale()), minimum)
+
+
+def table1_node_counts() -> List[int]:
+    return [scaled(count) for count in TABLE1_BASE_NODE_COUNTS]
+
+
+@dataclass
+class Measurement:
+    """One timed cell of a result table."""
+
+    label: str
+    seconds: float
+    result_count: int = -1
+
+
+def time_call(func: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-N wall time of a zero-argument call."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def render_table(title: str, row_labels: Sequence[str],
+                 column_labels: Sequence[str],
+                 cells: Dict[tuple, float],
+                 highlight_best_per_group: int | None = None) -> str:
+    """Render a paper-style table of seconds.
+
+    ``cells`` maps (row_label, column_label) to seconds.  When
+    ``highlight_best_per_group`` is set, rows are grouped in blocks of
+    that many and the best (minimum) cell of each block/column is
+    marked with ``*`` — mirroring the boldface of the paper's Table 1.
+    """
+    width = max([len(label) for label in column_labels] + [9]) + 2
+    label_width = max(len(label) for label in row_labels) + 2
+    lines = [title]
+    header = " " * label_width + "".join(
+        label.rjust(width) for label in column_labels)
+    lines.append(header)
+    best: Dict[tuple, str] = {}
+    if highlight_best_per_group:
+        for start in range(0, len(row_labels), highlight_best_per_group):
+            group = row_labels[start:start + highlight_best_per_group]
+            for column in column_labels:
+                values = [(cells.get((row, column), float("inf")), row)
+                          for row in group]
+                best[(start, column)] = min(values)[1]
+    for index, row in enumerate(row_labels):
+        parts = [row.ljust(label_width)]
+        for column in column_labels:
+            value = cells.get((row, column))
+            if value is None:
+                parts.append("-".rjust(width))
+                continue
+            text = f"{value:.5f}"
+            if highlight_best_per_group:
+                group_start = (index // highlight_best_per_group
+                               ) * highlight_best_per_group
+                if best.get((group_start, column)) == row:
+                    text += "*"
+            parts.append(text.rjust(width))
+        lines.append("".join(parts))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

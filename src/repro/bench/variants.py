@@ -1,0 +1,67 @@
+"""The twenty syntactic variants for the Section 5.1 experiment.
+
+The paper: "We generated 20 variants of the above path expression by
+replacing the / operator by equivalent ``for`` clauses and optionally
+replacing the predicate by a ``where`` clause."  The base expression::
+
+    $input/site/people/person[emailaddress]/profile/interest
+
+This module enumerates exactly such variants: every subset of the four
+``/`` operators can become a ``for`` clause, and independently the
+``[emailaddress]`` predicate can become a ``where`` clause (only
+meaningful when the person step is iterated) — 20 distinct shapes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+BASE_QUERY = "$input/site/people/person[emailaddress]/profile/interest"
+
+
+def generate_variants() -> List[str]:
+    """Exactly 20 variants, the pure path expression first.
+
+    16 variants keep the ``[emailaddress]`` predicate and turn every
+    subset of the four inner ``/`` joins into ``for`` clauses; 4 more
+    use a ``where`` clause instead of the predicate (which requires the
+    person step to be iterated) combined with the 4 subsets of the
+    remaining {site, people} joins.
+    """
+    variants: list[str] = []
+    # mask bit i set → the path join after steps[i] becomes a for clause.
+    for mask in range(16):
+        variants.append(_variant(mask, where_form=False))
+    for submask in range(4):
+        mask = 0b0100 | submask  # person split; site/people optional.
+        variants.append(_variant(mask, where_form=True))
+    return variants
+
+
+def _variant(mask: int, where_form: bool) -> str:
+    """Build one variant: mask bits choose which joins become for-loops."""
+    clauses: list[str] = []
+    var_index = 0
+    current = "$input"
+
+    def fresh() -> str:
+        nonlocal var_index
+        var_index += 1
+        return f"$x{var_index}"
+
+    steps = ["site", "people", "person", "profile", "interest"]
+    for position, step in enumerate(steps):
+        predicate = ""
+        if step == "person" and not where_form:
+            predicate = "[emailaddress]"
+        current = f"{current}/{step}{predicate}"
+        is_last = position == len(steps) - 1
+        if not is_last and mask & (1 << position):
+            var = fresh()
+            clauses.append(f"for {var} in {current}")
+            if step == "person" and where_form:
+                clauses.append(f"where {var}/emailaddress")
+            current = var
+    if not clauses:
+        return current
+    return " ".join(clauses) + f" return {current}"

@@ -1,0 +1,118 @@
+"""An XMark query catalog, adapted to the engine's fragment.
+
+The original XMark benchmark queries (Schmidt et al., VLDB 2002) mostly
+*construct* result elements; this engine implements the paper's
+construction-free fragment, so each catalog entry keeps the original
+query's access pattern — the part that exercises tree-pattern detection
+and the join algorithms — and returns the selected nodes/values
+instead of building new elements.  The original query number is kept in
+the identifier.
+
+Entries marked ``join=True`` contain value-based joins (XMark Q8–Q11
+territory): they exercise plans where tree patterns are composed with
+value selections, the situation of the paper's Q2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CatalogQuery:
+    """One adapted XMark query."""
+
+    name: str
+    original: str          # the XMark query it is adapted from
+    query: str
+    join: bool = False
+    positional: bool = False
+
+
+XMARK_CATALOG: Dict[str, CatalogQuery] = {
+    entry.name: entry for entry in [
+        CatalogQuery(
+            "XQ1", "XMark Q1",
+            # original: the name of the person with id person0
+            '$input/site/people/person[@id = "person0"]/name',
+            join=True),
+        CatalogQuery(
+            "XQ2", "XMark Q2",
+            # original: the initial increases of all open auctions
+            "$input/site/open_auctions/open_auction/bidder[1]/increase",
+            positional=True),
+        CatalogQuery(
+            "XQ3", "XMark Q3",
+            # original: first and current increases of auctions with ≥2 bids
+            "$input/site/open_auctions/open_auction[bidder[2]]/current"),
+        CatalogQuery(
+            "XQ4", "XMark Q4",
+            # original: order of bidders inside an auction (simplified to
+            # auctions where some bidder exists with a personref)
+            "$input//open_auction[bidder/personref]/itemref"),
+        CatalogQuery(
+            "XQ5", "XMark Q5",
+            # original: how many sold items cost more than 40
+            "count($input/site/closed_auctions/closed_auction"
+            "[price > 40]/price)"),
+        CatalogQuery(
+            "XQ6", "XMark Q6",
+            # original: how many items are listed on all continents
+            "count($input/site/regions//item)"),
+        CatalogQuery(
+            "XQ7", "XMark Q7",
+            # original: how many pieces of prose are in the database
+            "count($input//description) + count($input//mail) "
+            "+ count($input//annotation)"),
+        CatalogQuery(
+            "XQ8", "XMark Q8",
+            # original: how many items did person0 buy
+            'count($input//closed_auction[buyer/@person = "person0"])',
+            join=True),
+        CatalogQuery(
+            "XQ9", "XMark Q9 (join)",
+            # original: item names bought by each person — adapted to the
+            # items referenced by closed auctions of European sellers
+            "for $closed in $input//closed_auction "
+            "for $item in $input/site/regions/europe/item "
+            "where $closed/itemref/@item = $item/@id "
+            "return $item/name",
+            join=True),
+        CatalogQuery(
+            "XQ13", "XMark Q13",
+            # original: names of items in Australia (our regions differ)
+            "$input/site/regions/africa/item/name"),
+        CatalogQuery(
+            "XQ14", "XMark Q14",
+            # original: items whose description contains 'gold'
+            '$input//item[contains(description, "rare")]/name'),
+        CatalogQuery(
+            "XQ15", "XMark Q15",
+            # original: a long path expression
+            "$input/site/open_auctions/open_auction/annotation/"
+            "description/text()"),
+        CatalogQuery(
+            "XQ17", "XMark Q17",
+            # original: people without a homepage (we have no homepage:
+            # people without an emailaddress)
+            "for $p in $input/site/people/person "
+            "where empty($p/emailaddress) return $p/name"),
+        CatalogQuery(
+            "XQ19", "XMark Q19",
+            # original: item bidder info sorted (no order by: projection)
+            "$input/site/regions/*/item[location]/name"),
+        CatalogQuery(
+            "XQ20", "XMark Q20",
+            # original: income category counts
+            "count($input//profile[@income > 50000]) + "
+            "count($input//profile[@income <= 50000])"),
+    ]
+}
+
+
+def catalog_queries(include_joins: bool = True) -> Dict[str, str]:
+    """name → query text, optionally excluding the slow value joins."""
+    return {name: entry.query
+            for name, entry in XMARK_CATALOG.items()
+            if include_joins or not entry.join}

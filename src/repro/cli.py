@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+::
+
+    python -m repro query   "$input//person/name" --doc site.xml
+    python -m repro explain "$input//person[emailaddress]/name"
+    python -m repro compare "$input//person/name" --doc site.xml
+    python -m repro visualize "$input//person[emailaddress]" --what pattern
+    python -m repro generate xmark --size 100 --output site.xml
+
+``query`` evaluates against a document (``--doc``, or a built-in sample
+when omitted) and prints the result sequence.  ``explain`` shows every
+compilation stage.  ``compare`` times every physical strategy on one
+query.  ``generate`` writes a MemBeR-style or XMark-style document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from . import __version__
+from .algebra.optimizer import OptimizerOptions
+from .data import deep_member_document, member_document, xmark_document
+from .engine import Engine
+from .physical import Strategy
+from .xmltree import Node, serialize
+
+SAMPLE_DOCUMENT = """<site><people>
+<person id="p1"><name>John</name><emailaddress>j@x.example</emailaddress>
+<profile><interest category="art"/></profile></person>
+<person id="p2"><name>Mary</name>
+<profile><interest category="music"/></profile></person>
+</people></site>"""
+
+_STRATEGY_CHOICES = [strategy.value for strategy in Strategy]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XQuery engine with algebraic tree-pattern detection "
+                    "(reproduction of 'Put a Tree Pattern in Your "
+                    "Algebra', ICDE 2007)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="evaluate a query")
+    _add_document_options(query)
+    query.add_argument("expression", help="the XQuery expression")
+    query.add_argument("--strategy", choices=_STRATEGY_CHOICES,
+                       default=Strategy.STAIRCASE.value,
+                       help="tree-pattern algorithm (default: scjoin)")
+    query.add_argument("--no-optimize", action="store_true",
+                       help="skip rewriting and tree-pattern detection")
+    query.add_argument("--positional", action="store_true",
+                       help="enable the positional-pattern extension")
+    query.add_argument("--format", choices=["text", "xml"], default="text",
+                       help="result rendering (default: text values)")
+
+    explain = commands.add_parser(
+        "explain", help="show every compilation stage for a query")
+    _add_document_options(explain)
+    explain.add_argument("expression")
+    explain.add_argument("--positional", action="store_true",
+                         help="enable the positional-pattern extension")
+
+    compare = commands.add_parser(
+        "compare", help="time every strategy on one query")
+    _add_document_options(compare)
+    compare.add_argument("expression")
+    compare.add_argument("--repeats", type=int, default=3)
+
+    visualize = commands.add_parser(
+        "visualize", help="emit Graphviz DOT for a query's plan/patterns")
+    _add_document_options(visualize)
+    visualize.add_argument("expression")
+    visualize.add_argument("--what", choices=["plan", "pattern"],
+                           default="plan")
+    visualize.add_argument("--positional", action="store_true",
+                           help="enable the positional-pattern extension")
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic benchmark document")
+    generate.add_argument("kind", choices=["member", "deep", "xmark"])
+    generate.add_argument("--size", type=int, default=1000,
+                          help="node count (member/deep) or person count "
+                               "(xmark)")
+    generate.add_argument("--depth", type=int, default=None)
+    generate.add_argument("--tags", type=int, default=100,
+                          help="tag count for member documents")
+    generate.add_argument("--seed", type=int, default=20070415)
+    generate.add_argument("--output", "-o", default="-",
+                          help="output file ('-' for stdout)")
+    return parser
+
+
+def _add_document_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--doc", help="XML document file "
+                                      "(default: a built-in sample)")
+
+
+def _load_engine(args) -> Engine:
+    options = OptimizerOptions(
+        enable_positional=getattr(args, "positional", False))
+    if args.doc:
+        return Engine.from_file(args.doc, optimizer_options=options)
+    return Engine.from_xml(SAMPLE_DOCUMENT, optimizer_options=options)
+
+
+def _render_item(item, as_xml: bool) -> str:
+    if isinstance(item, Node):
+        return serialize(item) if as_xml else item.string_value()
+    if isinstance(item, bool):
+        return "true" if item else "false"
+    return str(item)
+
+
+def _command_query(args, out) -> int:
+    engine = _load_engine(args)
+    result = engine.run(args.expression, strategy=args.strategy,
+                        optimize=not args.no_optimize)
+    for item in result:
+        print(_render_item(item, args.format == "xml"), file=out)
+    return 0
+
+
+def _command_explain(args, out) -> int:
+    engine = _load_engine(args)
+    compiled = engine.compile(args.expression)
+    print(compiled.explain(), file=out)
+    print(file=out)
+    print(f"tree patterns detected: {compiled.tree_pattern_count()}",
+          file=out)
+    for pattern in compiled.tree_patterns():
+        print(f"  {pattern.to_string()}", file=out)
+    return 0
+
+
+def _command_compare(args, out) -> int:
+    engine = _load_engine(args)
+    compiled = engine.compile(args.expression)
+    reference: Optional[list] = None
+    print(f"query: {args.expression}", file=out)
+    print(f"tree patterns: {compiled.tree_pattern_count()}", file=out)
+    for strategy in ("nljoin", "twigjoin", "scjoin", "streaming", "cost"):
+        best = float("inf")
+        result: list = []
+        for _ in range(max(args.repeats, 1)):
+            start = time.perf_counter()
+            result = engine.execute(compiled, strategy=strategy)
+            best = min(best, time.perf_counter() - start)
+        keys = [getattr(item, "pre", item) for item in result]
+        if reference is None:
+            reference = keys
+        status = "ok" if keys == reference else "MISMATCH"
+        print(f"  {strategy:>9}: {best * 1000:9.3f} ms  "
+              f"({len(result)} items, {status})", file=out)
+    return 0
+
+
+def _command_visualize(args, out) -> int:
+    from .algebra import pattern_to_dot, plan_to_dot
+    engine = _load_engine(args)
+    compiled = engine.compile(args.expression)
+    if args.what == "plan":
+        print(plan_to_dot(compiled.optimized, name=args.expression),
+              file=out)
+        return 0
+    patterns = compiled.tree_patterns()
+    if not patterns:
+        print("// no tree patterns detected", file=out)
+        return 1
+    for index, pattern in enumerate(patterns):
+        print(pattern_to_dot(pattern, name=f"pattern{index}"), file=out)
+    return 0
+
+
+def _command_generate(args, out) -> int:
+    if args.kind == "member":
+        document = member_document(args.size, depth=args.depth or 4,
+                                   tag_count=args.tags, seed=args.seed)
+    elif args.kind == "deep":
+        document = deep_member_document(args.size, depth=args.depth or 15)
+    else:
+        document = xmark_document(args.size, seed=args.seed)
+    text = serialize(document.root)
+    if args.output == "-":
+        print(text, file=out)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {document.size} nodes to {args.output}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "query": _command_query,
+    "explain": _command_explain,
+    "compare": _command_compare,
+    "visualize": _command_visualize,
+    "generate": _command_generate,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Synthetic document generators (MemBeR-style and XMark-style)."""
+
+from .member import (approximate_size_bytes, deep_member_document,
+                     member_document, tag_name)
+from .xmark import XMARK_CHILD_DESCENDANT_PAIRS, xmark_document
+
+__all__ = [
+    "approximate_size_bytes", "deep_member_document", "member_document",
+    "tag_name", "XMARK_CHILD_DESCENDANT_PAIRS", "xmark_document",
+]

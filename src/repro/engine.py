@@ -1,0 +1,205 @@
+"""Public façade: compile and run queries through the paper's pipeline.
+
+::
+
+    from repro import Engine
+
+    engine = Engine.from_xml("<site>...</site>")
+    names = engine.run("$input//person[emailaddress]/name")
+
+    compiled = engine.compile("$input//person[emailaddress]/name")
+    print(compiled.explain())          # every compilation stage
+    engine.execute(compiled, strategy="twigjoin")
+
+The compilation stages mirror Figure 2 of the paper: parse →
+normalization (XQuery Core) → core rewriting (TPNF') → algebraic
+compilation → algebraic optimization (tree-pattern detection) →
+physical algorithm choice at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .algebra import (EvalContext, ItemPlan, TupleTreePattern, compile_core,
+                      count_operators, eval_item, optimize_plan,
+                      plan_canonical, plan_to_string)
+from .algebra.optimizer import OptimizerOptions
+from .pattern import TreePattern
+from .physical import Strategy, TreePatternAlgorithm, make_algorithm
+from .rewrite import RewriteOptions, RewriteTrace, rewrite_to_tpnf
+from .typing import infer_type
+from .xmltree import IndexedDocument, Node, parse_xml
+from .xqcore import CExpr, NormalizedQuery, Var, alpha_canonical, normalize_query, pretty
+from .xquery import ast as surface_ast
+from .xquery import parse_query
+from .xquery.abbrev import resolve_abbreviations
+
+
+@dataclass
+class CompiledQuery:
+    """A query with all of its intermediate compilation stages."""
+
+    text: str
+    surface: surface_ast.Expr
+    normalized: NormalizedQuery
+    tpnf: CExpr
+    plan: ItemPlan
+    optimized: ItemPlan
+    #: per-pass snapshots of the core rewriting, when compiled with
+    #: ``trace=True``.
+    rewrite_trace: Optional[RewriteTrace] = None
+
+    @property
+    def core(self) -> CExpr:
+        return self.normalized.core
+
+    def tree_pattern_count(self) -> int:
+        """How many ``TupleTreePattern`` operators the optimizer found."""
+        return count_operators(self.optimized, TupleTreePattern)
+
+    def tree_patterns(self) -> List[TreePattern]:
+        from .algebra import walk_plan
+        return [node.pattern for node in walk_plan(self.optimized)
+                if isinstance(node, TupleTreePattern)]
+
+    def canonical_plan(self) -> str:
+        """Renaming-invariant plan text (used to compare plans of
+        syntactic variants, as in the paper's Section 5.1)."""
+        return plan_canonical(self.optimized)
+
+    def explain(self) -> str:
+        """A report showing every compilation stage."""
+        sections = [
+            ("Query", self.text),
+            ("Normalized core (Section 2)", pretty(self.core)),
+            ("TPNF' after rewriting (Section 3)", pretty(self.tpnf)),
+            ("Algebraic plan (Section 4)", plan_to_string(self.plan)),
+            ("Optimized plan with tree patterns (Section 4.2)",
+             plan_to_string(self.optimized)),
+        ]
+        blocks = []
+        for title, body in sections:
+            bar = "=" * len(title)
+            blocks.append(f"{title}\n{bar}\n{body}")
+        return "\n\n".join(blocks)
+
+
+class Engine:
+    """An XQuery engine over one indexed document."""
+
+    def __init__(self, document: IndexedDocument,
+                 rewrite_options: Optional[RewriteOptions] = None,
+                 optimizer_options: Optional[OptimizerOptions] = None,
+                 default_strategy: Strategy | str = Strategy.STAIRCASE) -> None:
+        self.document = document
+        self.rewrite_options = rewrite_options or RewriteOptions()
+        self.optimizer_options = optimizer_options or OptimizerOptions()
+        self.default_strategy = Strategy(default_strategy)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, text: str, **kwargs) -> "Engine":
+        return cls(IndexedDocument.from_string(text), **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str, **kwargs) -> "Engine":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_xml(handle.read(), **kwargs)
+
+    # -- compilation ------------------------------------------------------------
+
+    def compile(self, query: str, optimize: bool = True,
+                trace: bool = False) -> CompiledQuery:
+        """Run the full compilation pipeline on a query string.
+
+        With ``trace=True`` the result carries a
+        :class:`~repro.rewrite.RewriteTrace` recording the core
+        expression after each rewriting pass that changed it.
+        """
+        surface = resolve_abbreviations(parse_query(query))
+        normalized = normalize_query(surface)
+        rewrite_trace = RewriteTrace() if trace else None
+        if optimize:
+            tpnf = rewrite_to_tpnf(normalized.core,
+                                   options=self.rewrite_options,
+                                   trace=rewrite_trace)
+        else:
+            tpnf = normalized.core
+        plan = compile_core(tpnf)
+        if optimize:
+            optimized = optimize_plan(plan, options=self.optimizer_options)
+        else:
+            optimized = plan
+        return CompiledQuery(text=query, surface=surface,
+                             normalized=normalized, tpnf=tpnf, plan=plan,
+                             optimized=optimized,
+                             rewrite_trace=rewrite_trace)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, compiled: CompiledQuery,
+                strategy: Optional[Strategy | str] = None,
+                variables: Optional[Dict[str, Sequence]] = None,
+                optimized: bool = True) -> List:
+        """Evaluate a compiled query and return the result sequence.
+
+        Every free query variable (``$input``, ``$d``, …) that is not
+        supplied in ``variables`` is bound to the document root, as is
+        the initial context item for absolute paths.
+        """
+        algorithm = self._algorithm(strategy)
+        bindings: Dict[Var, List] = {}
+        root = [self.document.root]
+        for name, var in compiled.normalized.global_vars.items():
+            if variables is not None and name in variables:
+                bindings[var] = list(variables[name])
+            else:
+                bindings[var] = list(root)
+        bindings[compiled.normalized.context_var] = list(root)
+        context = EvalContext(document=self.document, strategy=algorithm,
+                              globals=bindings)
+        plan = compiled.optimized if optimized else compiled.plan
+        return eval_item(plan, context)
+
+    def run(self, query: str,
+            strategy: Optional[Strategy | str] = None,
+            variables: Optional[Dict[str, Sequence]] = None,
+            optimize: bool = True) -> List:
+        """Compile and evaluate in one call."""
+        compiled = self.compile(query, optimize=optimize)
+        return self.execute(compiled, strategy=strategy,
+                            variables=variables, optimized=optimize)
+
+    def _algorithm(self,
+                   strategy: Optional[Strategy | str]) -> TreePatternAlgorithm:
+        chosen = Strategy(strategy) if strategy is not None \
+            else self.default_strategy
+        return make_algorithm(chosen, self.document)
+
+
+def execute_query(xml_text: str, query: str, **kwargs) -> List:
+    """One-shot convenience: parse, compile, run."""
+    return Engine.from_xml(xml_text).run(query, **kwargs)
+
+
+def xpath(document: "IndexedDocument | str", path: str,
+          strategy: Strategy | str = Strategy.STAIRCASE,
+          **kwargs) -> List:
+    """Evaluate one path expression against a document.
+
+    ``document`` may be an :class:`IndexedDocument` or an XML string;
+    the path's free variables (and absolute steps) resolve to the
+    document root.
+
+    >>> from repro import xpath
+    >>> [n.string_value() for n in xpath("<a><b>x</b></a>", "//b")]
+    ['x']
+    """
+    if isinstance(document, str):
+        engine = Engine.from_xml(document)
+    else:
+        engine = Engine(document)
+    return engine.run(path, strategy=strategy, **kwargs)

@@ -1,0 +1,7 @@
+"""Tree patterns: structure, parsing and merge operations (paper §4.1)."""
+
+from .tree import (PatternError, PatternPath, PatternStep, TreePattern,
+                   parse_pattern, single_step_pattern)
+
+__all__ = ["PatternError", "PatternPath", "PatternStep", "TreePattern",
+           "parse_pattern", "single_step_pattern"]

@@ -1,0 +1,313 @@
+"""Tree patterns (paper Section 4.1).
+
+The grammar::
+
+    TreePattern ::= IN#FieldName (/ Pattern)?
+    Pattern     ::= Step ([Pattern])* (/ Pattern)?
+    Step        ::= Axis NodeTest ({FieldName})?
+
+A tree pattern names the tuple field holding the context nodes
+(``IN#dot``), then a path of steps; each step may carry predicate
+*branches* (existential sub-patterns in square brackets) and an optional
+*output field* annotation in curly braces.  The *extraction point* is
+the last step of the main path (Definition 4.1).
+
+The structure is immutable-by-convention: the merge operations used by
+the algebraic rules (d)/(e) return new patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..xmltree.axes import Axis, axis_from_string
+from ..xmltree.nodetest import (AnyKindTest, ElementTest, NameTest, NodeTest,
+                                TextTest, WildcardTest)
+
+
+class PatternError(ValueError):
+    """Raised on malformed patterns."""
+
+
+@dataclass(frozen=True)
+class PatternStep:
+    """One step of a pattern: axis, node test, branches, output field.
+
+    ``position`` is the *positional tree pattern* extension (the paper's
+    Section 7 future work): when set to n, only the n-th candidate — in
+    document order, counted per single preceding context node, after the
+    existential branches have filtered — survives.  This is the
+    semantics of the XPath step ``axis::test[P1]...[Pk][n]``.
+    """
+
+    axis: Axis
+    test: NodeTest
+    predicates: tuple["PatternPath", ...] = ()
+    output_field: Optional[str] = None
+    position: Optional[int] = None
+
+    def to_string(self) -> str:
+        text = f"{self.axis.value}::{self.test.to_string()}"
+        if self.output_field is not None:
+            text += "{" + self.output_field + "}"
+        for predicate in self.predicates:
+            text += "[" + predicate.to_string() + "]"
+        if self.position is not None:
+            text += f"[{self.position}]"
+        return text
+
+    def with_position(self, position: int) -> "PatternStep":
+        return replace(self, position=position)
+
+    def without_output(self) -> "PatternStep":
+        return replace(self, output_field=None)
+
+    def with_output(self, field_name: Optional[str]) -> "PatternStep":
+        return replace(self, output_field=field_name)
+
+    def with_predicates(self, extra: tuple["PatternPath", ...]) -> "PatternStep":
+        return replace(self, predicates=self.predicates + tuple(extra))
+
+
+@dataclass(frozen=True)
+class PatternPath:
+    """A ``/``-chain of steps."""
+
+    steps: tuple[PatternStep, ...]
+
+    def to_string(self) -> str:
+        return "/".join(step.to_string() for step in self.steps)
+
+    @property
+    def last(self) -> PatternStep:
+        return self.steps[-1]
+
+    def replace_last(self, step: PatternStep) -> "PatternPath":
+        return PatternPath(self.steps[:-1] + (step,))
+
+    def concat(self, other: "PatternPath") -> "PatternPath":
+        return PatternPath(self.steps + other.steps)
+
+    def strip_outputs(self) -> "PatternPath":
+        return PatternPath(tuple(
+            replace(step, output_field=None,
+                    predicates=tuple(p.strip_outputs()
+                                     for p in step.predicates))
+            for step in self.steps))
+
+
+@dataclass(frozen=True)
+class TreePattern:
+    """A complete tree pattern with its input-field designation."""
+
+    input_field: str
+    path: PatternPath
+
+    def to_string(self) -> str:
+        return f"IN#{self.input_field}/{self.path.to_string()}"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def extraction_point(self) -> PatternStep:
+        """The last step of the main path (Definition 4.1)."""
+        return self.path.last
+
+    def output_fields(self) -> List[str]:
+        """All output-field annotations, in root-to-leaf lexical order."""
+        fields: list[str] = []
+
+        def collect(path: PatternPath) -> None:
+            for step in path.steps:
+                if step.output_field is not None:
+                    fields.append(step.output_field)
+                for predicate in step.predicates:
+                    collect(predicate)
+
+        collect(self.path)
+        return fields
+
+    def is_single_output_at_extraction_point(self) -> bool:
+        """True when the only output field sits on the extraction point —
+        the case in which the operator's semantics coincides with XPath
+        (Section 4.1)."""
+        fields = self.output_fields()
+        return (len(fields) == 1
+                and self.extraction_point.output_field == fields[0])
+
+    def is_downward(self) -> bool:
+        """All axes are within the tree-pattern fragment (downward)."""
+
+        def check(path: PatternPath) -> bool:
+            return all(step.axis.is_downward
+                       and all(check(p) for p in step.predicates)
+                       for step in path.steps)
+
+        return check(self.path)
+
+    # -- merge operations used by the optimizer -----------------------------
+
+    def append_path(self, continuation: PatternPath,
+                    output_field: Optional[str]) -> "TreePattern":
+        """Rule (d): extend the main path with ``continuation``.
+
+        The old extraction point loses its output annotation; the new
+        extraction point is the last step of the continuation, annotated
+        with ``output_field``.
+        """
+        trimmed = self.path.replace_last(self.path.last.without_output())
+        continuation = PatternPath(
+            continuation.steps[:-1]
+            + (continuation.last.with_output(output_field),))
+        return TreePattern(self.input_field, trimmed.concat(continuation))
+
+    def append_path_keeping_output(self, continuation: PatternPath,
+                                   output_field: Optional[str]
+                                   ) -> "TreePattern":
+        """The multi-variable merge: extend the main path while *keeping*
+        the old extraction point's output annotation.
+
+        The result is a multi-output pattern whose root-to-leaf lexical
+        binding order coincides with the order of the two composed
+        single-output patterns — the basis of the multi-variable
+        tree-pattern extension (the paper's "future work" in Section 1).
+        """
+        continuation = PatternPath(
+            continuation.steps[:-1]
+            + (continuation.last.with_output(output_field),))
+        return TreePattern(self.input_field, self.path.concat(continuation))
+
+    def add_predicates(self, branches: List[PatternPath]) -> "TreePattern":
+        """Rule (e): attach existential branches at the extraction point.
+
+        Output annotations inside the branches are dropped — predicate
+        branches only assert existence.
+        """
+        stripped = tuple(branch.strip_outputs() for branch in branches)
+        new_last = self.path.last.with_predicates(stripped)
+        return TreePattern(self.input_field, self.path.replace_last(new_last))
+
+
+def single_step_pattern(input_field: str, axis: Axis, test: NodeTest,
+                        output_field: str) -> TreePattern:
+    """The pattern introduced by rules (a)/(b) for one ``TreeJoin``."""
+    step = PatternStep(axis=axis, test=test, predicates=(),
+                       output_field=output_field)
+    return TreePattern(input_field, PatternPath((step,)))
+
+
+# -- parsing (for tests and the pattern-language examples) -------------------
+
+
+def parse_pattern(text: str) -> TreePattern:
+    """Parse the paper's pattern notation, e.g.
+    ``IN#x/descendant::a/child::c{y}[@id]/child::d{z}``."""
+    parser = _PatternParser(text)
+    pattern = parser.parse_tree_pattern()
+    parser.expect_end()
+    return pattern
+
+
+class _PatternParser:
+    def __init__(self, text: str) -> None:
+        self.text = text.strip()
+        self.pos = 0
+
+    def error(self, message: str) -> PatternError:
+        return PatternError(f"{message} (at offset {self.pos} in {self.text!r})")
+
+    def expect(self, token: str) -> None:
+        if not self.text.startswith(token, self.pos):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def expect_end(self) -> None:
+        if self.pos != len(self.text):
+            raise self.error("trailing input")
+
+    def _name(self) -> str:
+        start = self.pos
+        while (self.pos < len(self.text)
+               and (self.text[self.pos].isalnum()
+                    or self.text[self.pos] in "_-.")):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start:self.pos]
+
+    def parse_tree_pattern(self) -> TreePattern:
+        self.expect("IN#")
+        input_field = self._name()
+        self.expect("/")
+        return TreePattern(input_field, self.parse_path())
+
+    def parse_path(self) -> PatternPath:
+        steps = [self.parse_step()]
+        while self.text.startswith("/", self.pos):
+            self.pos += 1
+            steps.append(self.parse_step())
+        return PatternPath(tuple(steps))
+
+    def parse_step(self) -> PatternStep:
+        if self.text.startswith("@", self.pos):
+            self.pos += 1
+            axis = Axis.ATTRIBUTE
+        else:
+            axis_name = self._name()
+            separator = "::"
+            if not self.text.startswith(separator, self.pos):
+                # An unqualified name is a child step (abbreviated syntax).
+                return self._finish_step(Axis.CHILD, self._test_from(axis_name))
+            self.pos += len(separator)
+            axis = axis_from_string(
+                {"desc": "descendant", "dos": "descendant-or-self"}.get(
+                    axis_name, axis_name))
+        test = self.parse_test()
+        return self._finish_step(axis, test)
+
+    def parse_test(self) -> NodeTest:
+        if self.text.startswith("*", self.pos):
+            self.pos += 1
+            return WildcardTest()
+        name = self._name()
+        return self._test_from(name, consume_parens=True)
+
+    def _test_from(self, name: str, consume_parens: bool = False) -> NodeTest:
+        if consume_parens and self.text.startswith("()", self.pos):
+            self.pos += 2
+            if name == "node":
+                return AnyKindTest()
+            if name == "text":
+                return TextTest()
+            if name == "element":
+                return ElementTest()
+            raise self.error(f"unknown kind test {name}()")
+        return NameTest(name)
+
+    def _finish_step(self, axis: Axis, test: NodeTest) -> PatternStep:
+        output_field: Optional[str] = None
+        predicates: list[PatternPath] = []
+        position: Optional[int] = None
+        while self.pos < len(self.text) and self.text[self.pos] in "{[":
+            if self.text[self.pos] == "{":
+                self.pos += 1
+                output_field = self._name()
+                self.expect("}")
+            else:
+                self.pos += 1
+                if self.text[self.pos:self.pos + 1].isdigit():
+                    start = self.pos
+                    while self.text[self.pos:self.pos + 1].isdigit():
+                        self.pos += 1
+                    position = int(self.text[start:self.pos])
+                else:
+                    predicates.append(self.parse_path())
+                self.expect("]")
+        return PatternStep(axis=axis, test=test,
+                           predicates=tuple(predicates),
+                           output_field=output_field,
+                           position=position)

@@ -1,0 +1,64 @@
+"""Interface shared by the physical tree-pattern algorithms.
+
+Every algorithm answers two requests about a
+:class:`~repro.pattern.TreePattern`'s path:
+
+* :meth:`match_single` — the XPath result of the main path (with its
+  existential predicate branches) from a *sequence* of context nodes:
+  document order, duplicate-free.  This is the semantics the optimizer
+  relies on for the single-output patterns it generates (Section 4.1:
+  "the semantics coincide with the XPath semantics in the case there is
+  only an output field on the extraction point").
+* :meth:`enumerate_bindings` — all bindings of the pattern's annotated
+  nodes from a single context node, in root-to-leaf lexical order
+  (the multi-output semantics illustrated in Section 4.1's example).
+
+:meth:`evaluate` is the template method the ``TupleTreePattern``
+operator calls; it dispatches between the two semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..pattern import PatternPath, TreePattern
+from ..xmltree.document import IndexedDocument, ddo
+from ..xmltree.node import Node
+
+Binding = Dict[str, Node]
+
+
+class TreePatternAlgorithm:
+    """Base class of NLJoin, TwigJoin and SCJoin."""
+
+    name = "abstract"
+
+    def match_single(self, document: IndexedDocument,
+                     contexts: List[Node], path: PatternPath) -> List[Node]:
+        raise NotImplementedError
+
+    def enumerate_bindings(self, document: IndexedDocument, context: Node,
+                           path: PatternPath) -> List[Binding]:
+        raise NotImplementedError
+
+    def evaluate(self, document: IndexedDocument, contexts: List[Node],
+                 pattern: TreePattern) -> List[Binding]:
+        """Evaluate a pattern for one input tuple's context nodes."""
+        if pattern.is_single_output_at_extraction_point():
+            out_field = pattern.extraction_point.output_field
+            assert out_field is not None
+            nodes = self.match_single(document, contexts, pattern.path)
+            return [{out_field: node} for node in nodes]
+        bindings: list[Binding] = []
+        for context in contexts:
+            bindings.extend(
+                self.enumerate_bindings(document, context, pattern.path))
+        return bindings
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+def distinct_doc_order(nodes: List[Node]) -> List[Node]:
+    """Shared ddo helper for implementations."""
+    return ddo(nodes)

@@ -1,0 +1,233 @@
+"""Staircase join (SCJoin) — Grust & van Keulen's tree-aware join.
+
+The staircase join evaluates one location step for a whole *sequence* of
+context nodes at once on the pre/post plane:
+
+* **pruning** — context nodes whose regions are covered by other
+  context nodes are removed (for the descendant axis, a context nested
+  inside another contributes nothing new);
+* **partition scan** — the remaining "staircase" of disjoint regions is
+  swept left to right; each partition is answered with one binary search
+  on the tag stream plus a scan of the region slice, so results come out
+  in document order *without a sort* and duplicate-free *without a
+  dedup*.
+
+Patterns are evaluated spine-step-by-spine-step (each step one
+staircase join); predicate branches are existential semi-joins that
+filter the step's output.  This set-at-a-time, multi-pass style is
+precisely why the paper finds SCJoin "can degrade for complex tree
+patterns while TwigJoin is always well-behaved" (Section 5): every
+branch adds passes over the candidate sets.
+
+Axes outside the downward fragment fall back to NLJoin.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List
+
+from ..pattern import PatternPath, PatternStep
+from ..xmltree.axes import Axis
+from ..xmltree.document import IndexedDocument
+from ..xmltree.node import AttributeNode, ElementNode, Node
+from ..xmltree.nodetest import (ElementTest, NameTest, NodeTest, TextTest,
+                                WildcardTest)
+from .base import Binding, TreePatternAlgorithm
+from .nljoin import NLJoin
+
+_SUPPORTED_AXES = (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF,
+                   Axis.ATTRIBUTE, Axis.SELF)
+
+
+class StaircaseJoin(TreePatternAlgorithm):
+    """Set-at-a-time staircase join evaluation."""
+
+    name = "scjoin"
+
+    def __init__(self) -> None:
+        self._fallback = NLJoin()
+
+    # -- public API -----------------------------------------------------------
+
+    def match_single(self, document: IndexedDocument,
+                     contexts: List[Node], path: PatternPath) -> List[Node]:
+        if not _supported(path):
+            return self._fallback.match_single(document, contexts, path)
+        current = _prune_duplicates(contexts)
+        for step in path.steps:
+            if step.position is not None:
+                current = self._positional_step(document, current, step)
+                continue
+            current = self._staircase_step(document, current, step)
+            for branch in step.predicates:
+                current = [node for node in current
+                           if self._branch_exists(document, node, branch)]
+        return current
+
+    def enumerate_bindings(self, document: IndexedDocument, context: Node,
+                           path: PatternPath) -> List[Binding]:
+        # Binding enumeration is inherently tuple-at-a-time; the
+        # staircase join is a set-at-a-time algorithm, so multi-output
+        # patterns use the navigational fallback (the optimizer only
+        # emits single-output patterns — see DESIGN.md).
+        return self._fallback.enumerate_bindings(document, context, path)
+
+    # -- the join ----------------------------------------------------------------
+
+    def _staircase_step(self, document: IndexedDocument,
+                        contexts: List[Node], step: PatternStep) -> List[Node]:
+        """One staircase join: contexts (doc order, dup-free) → results
+        (doc order, dup-free)."""
+        if not contexts:
+            return []
+        axis = step.axis
+        if axis is Axis.SELF:
+            kind = axis.principal_kind
+            return [node for node in contexts if step.test.matches(node, kind)]
+        if axis is Axis.ATTRIBUTE:
+            result: list[Node] = []
+            for context in contexts:
+                if isinstance(context, ElementNode):
+                    result.extend(
+                        attribute for attribute in context.attributes
+                        if step.test.matches(attribute, "attribute"))
+            return result
+        if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            return self._descendant_join(document, contexts, step,
+                                         axis is Axis.DESCENDANT_OR_SELF)
+        if axis is Axis.CHILD:
+            return self._child_join(document, contexts, step)
+        raise AssertionError(f"unsupported axis {axis}")
+
+    def _descendant_join(self, document: IndexedDocument,
+                         contexts: List[Node], step: PatternStep,
+                         include_self: bool) -> List[Node]:
+        stream, pres = _stream(document, step.test)
+        pruned = _prune_covered(contexts)
+        result: list[Node] = []
+        # The pruned staircase has pairwise-disjoint regions in document
+        # order: concatenating the partition scans yields sorted,
+        # duplicate-free output with no post-processing.
+        for context in pruned:
+            low_key = context.pre if include_self else context.pre + 1
+            low = bisect_left(pres, low_key)
+            high = bisect_right(pres, context.end)
+            result.extend(stream[low:high])
+        return result
+
+    def _child_join(self, document: IndexedDocument,
+                    contexts: List[Node], step: PatternStep) -> List[Node]:
+        stream, pres = _stream(document, step.test)
+        # Children of distinct contexts are disjoint, but nested contexts
+        # interleave regions; detect the (common) non-nested case to skip
+        # the merge.
+        chunks: list[list[Node]] = []
+        nested = False
+        previous_end = -1
+        for context in contexts:
+            if context.pre <= previous_end:
+                nested = True
+            previous_end = max(previous_end, context.end)
+            low = bisect_left(pres, context.pre + 1)
+            high = bisect_right(pres, context.end)
+            chunks.append([node for node in stream[low:high]
+                           if node.parent is context])
+        if not nested:
+            return [node for chunk in chunks for node in chunk]
+        merged = [node for chunk in chunks for node in chunk]
+        merged.sort(key=lambda node: node.pre)
+        return merged
+
+    def _positional_step(self, document: IndexedDocument,
+                         contexts: List[Node],
+                         step: PatternStep) -> List[Node]:
+        """A positional step (``step[P]...[n]``) is inherently
+        per-context: the staircase's bulk partition scan cannot apply,
+        so each context is answered with its own region scan (positions
+        count per context node, after branch filtering)."""
+        chunks: list[list[Node]] = []
+        nested = False
+        previous_end = -1
+        for context in contexts:
+            if context.pre <= previous_end:
+                nested = True
+            previous_end = max(previous_end, context.end)
+            survivors = self._staircase_step(document, [context], step)
+            for branch in step.predicates:
+                survivors = [node for node in survivors
+                             if self._branch_exists(document, node, branch)]
+            index = step.position - 1
+            if 0 <= index < len(survivors):
+                chunks.append([survivors[index]])
+        merged = [node for chunk in chunks for node in chunk]
+        if nested:
+            merged.sort(key=lambda node: node.pre)
+            merged = _prune_duplicates(merged)
+        return merged
+
+    def _branch_exists(self, document: IndexedDocument, context: Node,
+                       branch: PatternPath) -> bool:
+        """Existential semi-join of a predicate branch from one node."""
+        current = [context]
+        for step in branch.steps:
+            if step.position is not None:
+                current = self._positional_step(document, current, step)
+            else:
+                current = self._staircase_step(document, current, step)
+                for nested in step.predicates:
+                    current = [node for node in current
+                               if self._branch_exists(document, node, nested)]
+            if not current:
+                return False
+        return bool(current)
+
+
+def _supported(path: PatternPath) -> bool:
+    for step in path.steps:
+        if step.axis not in _SUPPORTED_AXES:
+            return False
+        if isinstance(step.test, TextTest) and step.axis not in (
+                Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            return False
+        if not all(_supported(branch) for branch in step.predicates):
+            return False
+    return True
+
+
+def _stream(document: IndexedDocument, test: NodeTest):
+    """The document-wide stream (nodes, pres) matching a node test."""
+    if isinstance(test, NameTest):
+        stream = document.stream(test.name)
+        return stream, document.tag_pres.get(test.name, [])
+    if isinstance(test, (WildcardTest, ElementTest)):
+        nodes = [node for node in document.nodes_by_pre
+                 if isinstance(node, ElementNode) and test.matches(node)]
+    elif isinstance(test, TextTest):
+        nodes = list(document.text_stream)
+    else:  # node()
+        nodes = [node for node in document.nodes_by_pre
+                 if not isinstance(node, AttributeNode)]
+    return nodes, [node.pre for node in nodes]
+
+
+def _prune_duplicates(contexts: List[Node]) -> List[Node]:
+    ordered = sorted(contexts, key=lambda node: node.pre)
+    result: list[Node] = []
+    previous = None
+    for node in ordered:
+        if node is not previous:
+            result.append(node)
+        previous = node
+    return result
+
+
+def _prune_covered(contexts: List[Node]) -> List[Node]:
+    """Drop contexts contained in an earlier context (staircase pruning)."""
+    pruned: list[Node] = []
+    boundary = -1
+    for context in contexts:
+        if context.pre > boundary:
+            pruned.append(context)
+            boundary = context.end
+    return pruned

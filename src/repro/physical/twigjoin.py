@@ -1,0 +1,317 @@
+"""Holistic twig join (TwigJoin).
+
+Evaluates a whole tree pattern in one coordinated pass over per-tag
+*streams* (the document's elements of each tag, sorted by ``pre``),
+in the style of Bruno, Koudas & Srivastava's TwigStack:
+
+* **stack phase** — all query nodes' streams are swept together in
+  document order while a stack per query node tracks the currently open
+  (ancestor) elements; a stream element survives as a *candidate* only
+  if an element of the parent query node is open at that moment
+  (ancestor–descendant relaxation of the edge);
+* **expansion phase** — candidates are merge-joined top-down into full
+  twig matches, re-checking each edge's exact axis (this is where the
+  relaxed child/attribute edges are enforced — the standard "suboptimal
+  but correct" treatment of parent-child edges).
+
+Each ``TupleTreePattern`` evaluation scans the streams restricted (by
+binary search) to the context node's region, which gives TwigJoin the
+per-step index-scan cost profile of the paper's Section 5.3 experiment.
+
+Axes outside the twig fragment (self, reverse axes) fall back to the
+navigational NLJoin for correctness.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..pattern import PatternPath, TreePattern
+from ..xmltree.axes import Axis
+from ..xmltree.document import IndexedDocument
+from ..xmltree.node import AttributeNode, ElementNode, Node
+from ..xmltree.nodetest import (ElementTest, NameTest, NodeTest, TextTest,
+                                WildcardTest)
+from .base import Binding, TreePatternAlgorithm, distinct_doc_order
+from .nljoin import NLJoin
+
+_SUPPORTED_AXES = (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF,
+                   Axis.ATTRIBUTE)
+
+
+@dataclass
+class _QueryNode:
+    """One node of the twig query tree."""
+
+    axis: Axis
+    test: NodeTest
+    output_field: Optional[str]
+    on_spine: bool
+    index: int
+    position: Optional[int] = None
+    #: True when this node continues its parent's *path* (as opposed to
+    #: being a predicate branch): positions apply before continuations
+    #: but after predicate branches.
+    is_continuation: bool = False
+    parent: Optional["_QueryNode"] = None
+    children: List["_QueryNode"] = field(default_factory=list)
+    # Per-evaluation state.
+    stream: List[Node] = field(default_factory=list)
+    stack: List[Node] = field(default_factory=list)
+    candidates: List[Node] = field(default_factory=list)
+    candidate_pres: List[int] = field(default_factory=list)
+
+
+def _build_query_tree(path: PatternPath, on_spine: bool,
+                      nodes: List[_QueryNode]) -> _QueryNode:
+    first: Optional[_QueryNode] = None
+    previous: Optional[_QueryNode] = None
+    for step in path.steps:
+        node = _QueryNode(axis=step.axis, test=step.test,
+                          output_field=step.output_field,
+                          on_spine=on_spine, index=len(nodes),
+                          position=step.position)
+        nodes.append(node)
+        if previous is not None:
+            node.is_continuation = True
+            previous.children.append(node)
+            node.parent = previous
+        for branch in step.predicates:
+            # Predicate branches are purely existential: output
+            # annotations inside them are outside the supported fragment
+            # (the optimizer strips them — see TreePattern.add_predicates)
+            # and are ignored, matching the NLJoin reference semantics.
+            branch_root = _build_query_tree(branch.strip_outputs(),
+                                            on_spine=False, nodes=nodes)
+            branch_root.parent = node
+            node.children.append(branch_root)
+        if first is None:
+            first = node
+        previous = node
+    assert first is not None
+    return first
+
+
+class TwigJoin(TreePatternAlgorithm):
+    """Holistic twig join over per-tag streams."""
+
+    name = "twigjoin"
+
+    def __init__(self) -> None:
+        self._fallback = NLJoin()
+
+    # -- public API -----------------------------------------------------------
+
+    def match_single(self, document: IndexedDocument,
+                     contexts: List[Node], path: PatternPath) -> List[Node]:
+        if not _supported(path):
+            return self._fallback.match_single(document, contexts, path)
+        results: list[Node] = []
+        for context in contexts:
+            spine_index, matches = self._solve(document, context, path)
+            results.extend(match[spine_index] for match in matches)
+        return distinct_doc_order(results)
+
+    def enumerate_bindings(self, document: IndexedDocument, context: Node,
+                           path: PatternPath) -> List[Binding]:
+        if not _supported(path):
+            return self._fallback.enumerate_bindings(document, context, path)
+        nodes: list[_QueryNode] = []
+        root = _build_query_tree(path, on_spine=True, nodes=nodes)
+        matches = _twig_matches(document, context, root, nodes)
+        bindings: list[Binding] = []
+        for match in matches:
+            binding: Binding = {}
+            for query_node in nodes:
+                if query_node.output_field is not None:
+                    binding[query_node.output_field] = match[query_node.index]
+            bindings.append(binding)
+        return bindings
+
+    def _solve(self, document: IndexedDocument, context: Node,
+               path: PatternPath):
+        nodes: list[_QueryNode] = []
+        root = _build_query_tree(path, on_spine=True, nodes=nodes)
+        spine_leaf = root
+        while True:
+            next_spine = [c for c in spine_leaf.children if c.on_spine]
+            if not next_spine:
+                break
+            spine_leaf = next_spine[0]
+        return spine_leaf.index, _twig_matches(document, context, root, nodes)
+
+
+def _supported(path: PatternPath) -> bool:
+    for step in path.steps:
+        if step.axis not in _SUPPORTED_AXES:
+            return False
+        if isinstance(step.test, TextTest):
+            return False
+        if not all(_supported(branch) for branch in step.predicates):
+            return False
+    return True
+
+
+def _stream_for(document: IndexedDocument, context: Node,
+                node: _QueryNode) -> List[Node]:
+    """The region-restricted stream for one query node."""
+    include_self = node.axis is Axis.DESCENDANT_OR_SELF
+    test = node.test
+    if node.axis is Axis.ATTRIBUTE:
+        if isinstance(test, NameTest):
+            stream: List[Node] = list(
+                document.attribute_streams.get(test.name, []))
+        else:
+            stream = [attribute
+                      for element in document.all_elements()
+                      for attribute in element.attributes]
+            stream.sort(key=lambda item: item.pre)
+        return _region_slice(stream, context, include_self=False)
+    if isinstance(test, NameTest):
+        return _region_slice(list(document.stream(test.name)), context,
+                             include_self)
+    if isinstance(test, (WildcardTest, ElementTest)):
+        elements = [n for n in document.nodes_by_pre
+                    if isinstance(n, ElementNode) and test.matches(n)]
+        return _region_slice(elements, context, include_self)
+    # node(): every node in the region — except attributes, which are
+    # only reachable via the attribute axis, never as children or
+    # descendants.
+    low = context.pre if include_self else context.pre + 1
+    return [n for n in document.nodes_by_pre[low:context.end + 1]
+            if not isinstance(n, AttributeNode)]
+
+
+def _region_slice(stream: List[Node], context: Node,
+                  include_self: bool) -> List[Node]:
+    pres = [node.pre for node in stream]
+    low_key = context.pre if include_self else context.pre + 1
+    low = bisect_left(pres, low_key)
+    high = bisect_right(pres, context.end)
+    return stream[low:high]
+
+
+def _twig_matches(document: IndexedDocument, context: Node,
+                  root: _QueryNode, nodes: List[_QueryNode]) -> list:
+    for query_node in nodes:
+        query_node.stream = _stream_for(document, context, query_node)
+        query_node.stack = []
+        query_node.candidates = []
+        query_node.candidate_pres = []
+    _stack_phase(context, nodes)
+    if any(not query_node.candidates for query_node in nodes):
+        return []
+    return _expand(context, root, nodes)
+
+
+def _stack_phase(context: Node, nodes: List[_QueryNode]) -> None:
+    """Sweep all streams in document order, keeping per-query-node stacks
+    of open elements; an element is a candidate when an element of its
+    parent query node (or the context, for roots) is open."""
+    events: list[tuple[int, int, Node]] = []
+    for query_node in nodes:
+        events.extend((element.pre, query_node.index, element)
+                      for element in query_node.stream)
+    events.sort(key=lambda event: event[0])
+    open_root = context
+    for pre, index, element in events:
+        query_node = nodes[index]
+        parent = query_node.parent
+        if parent is None:
+            ancestor_open = open_root.contains_or_self(element) \
+                if query_node.axis is Axis.DESCENDANT_OR_SELF \
+                else open_root.contains(element)
+        else:
+            while parent.stack and parent.stack[-1].end < pre:
+                parent.stack.pop()
+            ancestor_open = bool(parent.stack)
+        if not ancestor_open:
+            continue
+        while query_node.stack and query_node.stack[-1].end < pre:
+            query_node.stack.pop()
+        query_node.stack.append(element)
+        query_node.candidates.append(element)
+        query_node.candidate_pres.append(element.pre)
+
+
+def _candidates_under(query_node: _QueryNode, anchor: Node) -> list:
+    include_self = query_node.axis is Axis.DESCENDANT_OR_SELF
+    low_key = anchor.pre if include_self else anchor.pre + 1
+    low = bisect_left(query_node.candidate_pres, low_key)
+    high = bisect_right(query_node.candidate_pres, anchor.end)
+    return [candidate for candidate in query_node.candidates[low:high]
+            if _edge_holds(anchor, candidate, query_node.axis)]
+
+
+def _surviving_candidates(query_node: _QueryNode, anchor: Node) -> list:
+    """Edge- and predicate-filtered candidates in document order, with
+    the positional extension applied (positions count per anchor, after
+    the predicate branches, before any path continuation)."""
+    predicates = [child for child in query_node.children
+                  if not child.is_continuation]
+    survivors = [candidate
+                 for candidate in _candidates_under(query_node, anchor)
+                 if all(_branch_exists(child, candidate)
+                        for child in predicates)]
+    if query_node.position is not None:
+        index = query_node.position - 1
+        survivors = ([survivors[index]]
+                     if 0 <= index < len(survivors) else [])
+    return survivors
+
+
+def _branch_exists(query_node: _QueryNode, anchor: Node) -> bool:
+    """Existential check of one (sub-)branch from an anchor element."""
+    continuations = [child for child in query_node.children
+                     if child.is_continuation]
+    for candidate in _surviving_candidates(query_node, anchor):
+        if all(_branch_exists(child, candidate)
+               for child in continuations):
+            return True
+    return False
+
+
+def _expand(context: Node, root: _QueryNode,
+            nodes: List[_QueryNode]) -> list:
+    """Merge candidates into full matches, enforcing exact axes.
+
+    Spine nodes are enumerated; branch nodes without output annotations
+    are checked existentially (a semi-join), which keeps extraction-only
+    evaluation linear in the number of spine matches.  Branch nodes that
+    carry output fields are enumerated too, producing bindings in
+    root-to-leaf lexical order.
+    """
+    matches: list[list[Node]] = []
+    assignment: dict[int, Node] = {}
+
+    def enumerate_node(todo: list[_QueryNode]) -> None:
+        if not todo:
+            matches.append([assignment.get(n.index) for n in nodes])
+            return
+        query_node = todo[0]
+        anchor = (assignment[query_node.parent.index]
+                  if query_node.parent is not None else context)
+        spine_children = [child for child in query_node.children
+                          if child.is_continuation]
+        for candidate in _surviving_candidates(query_node, anchor):
+            assignment[query_node.index] = candidate
+            enumerate_node(spine_children + todo[1:])
+            del assignment[query_node.index]
+
+    enumerate_node([root])
+    return matches
+
+
+def _edge_holds(ancestor: Node, candidate: Node, axis: Axis) -> bool:
+    if axis is Axis.CHILD:
+        return candidate.parent is ancestor
+    if axis is Axis.ATTRIBUTE:
+        return (isinstance(candidate, AttributeNode)
+                and candidate.parent is ancestor)
+    if axis is Axis.DESCENDANT:
+        return ancestor.contains(candidate)
+    if axis is Axis.DESCENDANT_OR_SELF:
+        return ancestor.contains_or_self(candidate)
+    return False

@@ -1,0 +1,106 @@
+"""Annotated rendering of the document-order analysis.
+
+The paper's document-order rewritings work "by introducing and
+propagating annotations" (Section 3, citing [19]).  This module makes
+those annotations visible: every binder and every ``ddo`` call in a core
+expression is rendered together with the facts the analysis derived for
+its subject — whether the sequence is sorted and duplicate-free
+(``ord``), ancestor-free (``sep``), and a singleton (``one``).
+
+Used by ``python -m repro explain`` debugging sessions and the
+pedagogical examples; the rewriting itself consumes the facts directly
+(:mod:`repro.rewrite.facts`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..xqcore.cast import (CDDO, CExpr, CFor, CLet, CVar, Var)
+from ..xqcore.pretty import pretty
+from .facts import Facts, SINGLETON, sequence_facts
+
+
+def facts_label(facts: Facts) -> str:
+    """Compact rendering: e.g. ``ord,sep`` or ``one`` or ``-``."""
+    parts = []
+    if facts.singleton:
+        parts.append("one")
+    if facts.ord_nodup:
+        parts.append("ord")
+    if facts.separated:
+        parts.append("sep")
+    return ",".join(parts) if parts else "-"
+
+
+def annotated_pretty(expr: CExpr) -> str:
+    """Render a core expression with per-construct fact annotations.
+
+    Annotations appear as ``(* ... *)`` comments after the line that
+    introduces the annotated value, e.g.::
+
+        for $dot in $d/descendant::person (* source: ord *)
+    """
+    annotations = collect_annotations(expr)
+    base = pretty(expr)
+    lines = base.splitlines()
+    annotated = []
+    for line in lines:
+        stripped = line.strip()
+        note = None
+        for needle, label in annotations.items():
+            if needle and needle in stripped:
+                note = label
+                break
+        if note:
+            annotated.append(f"{line}  (* {note} *)")
+        else:
+            annotated.append(line)
+    return "\n".join(annotated)
+
+
+def collect_annotations(expr: CExpr) -> Dict[str, str]:
+    """Map printed-line fragments to fact labels.
+
+    Returns entries like ``{"for $dot in …": "source: ord,sep"}``; used
+    by :func:`annotated_pretty` and directly testable.
+    """
+    annotations: Dict[str, str] = {}
+
+    def visit(node: CExpr, env: Dict[Var, Facts]) -> None:
+        if isinstance(node, CDDO):
+            facts = sequence_facts(node.arg, env)
+            annotations.setdefault(
+                "ddo(", f"ddo argument: {facts_label(facts)}")
+            visit(node.arg, env)
+            return
+        if isinstance(node, CLet):
+            facts = sequence_facts(node.value, env)
+            annotations[f"let ${node.var.name}"] = \
+                f"value: {facts_label(facts)}"
+            visit(node.value, env)
+            visit(node.body, {**env, node.var: facts})
+            return
+        if isinstance(node, CFor):
+            facts = sequence_facts(node.source, env)
+            annotations[f"for ${node.var.name}"] = \
+                f"source: {facts_label(facts)}"
+            visit(node.source, env)
+            inner = dict(env)
+            inner[node.var] = SINGLETON
+            if node.position_var is not None:
+                inner[node.position_var] = SINGLETON
+            if node.where is not None:
+                visit(node.where, inner)
+            visit(node.body, inner)
+            return
+        for child in node.children():
+            visit(child, env)
+
+    visit(expr, {})
+    return annotations
+
+
+def whole_expression_facts(expr: CExpr) -> str:
+    """The facts of the whole expression, rendered."""
+    return facts_label(sequence_facts(expr))

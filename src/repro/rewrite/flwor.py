@@ -1,0 +1,99 @@
+"""FLWOR rewritings (paper Section 3, "FLWOR rewritings").
+
+The rules, all driven by the variable-usage judgment of
+:func:`repro.xqcore.cast.usage_count`:
+
+* dead ``let`` elimination — ``let $x := E1 return E2`` with ``$x``
+  unused becomes ``E2`` (the fragment is pure, so dropping ``E1`` is
+  sound);
+* single-use ``let`` inlining — with exactly one (non-loop) use, the
+  binding is substituted away;
+* trivial inlining — bindings to variables or literals are always
+  inlined (no work is duplicated);
+* unused positional-variable removal — ``for $x at $i in E`` drops
+  ``$i`` when unused, which is what later *enables* the loop-split
+  rewrite (Section 3 notes the split is blocked by index variables);
+* ``for``-identity — ``for $x in E return $x`` (no ``where``, no
+  position) is just ``E``; this collapse is what makes syntactic
+  variants like the paper's Q1b converge;
+* singleton ``for`` — a ``for`` over a provably-singleton sequence with
+  no ``where`` runs exactly once and is a ``let``.
+
+Sequence facts (for the singleton rule) are threaded through binders so
+that, e.g., a loop over another loop's variable is recognized as
+degenerate — needed for variants like the paper's Q1c.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..xqcore.cast import (CExpr, CFor, CLet, CLit, CVar, substitute,
+                           usage_count)
+from .facts import Facts, SINGLETON, sequence_facts
+
+
+def rewrite_flwor(expr: CExpr) -> CExpr:
+    """Apply the FLWOR rules bottom-up until this pass changes nothing."""
+    while True:
+        rewritten = _rewrite(expr, {})
+        if rewritten is expr:
+            return expr
+        expr = rewritten
+
+
+def _rewrite(expr: CExpr, env: Dict) -> CExpr:
+    if isinstance(expr, CLet):
+        value = _rewrite(expr.value, env)
+        inner = {**env, expr.var: sequence_facts(value, env)}
+        body = _rewrite(expr.body, inner)
+        if value is not expr.value or body is not expr.body:
+            expr = CLet(expr.var, value, body)
+        return _rewrite_let(expr)
+    if isinstance(expr, CFor):
+        source = _rewrite(expr.source, env)
+        inner = {**env, expr.var: SINGLETON}
+        if expr.position_var is not None:
+            inner[expr.position_var] = SINGLETON
+        where = (None if expr.where is None
+                 else _rewrite(expr.where, inner))
+        body = _rewrite(expr.body, inner)
+        if (source is not expr.source or where is not expr.where
+                or body is not expr.body):
+            expr = CFor(expr.var, expr.position_var, source, where, body)
+        return _rewrite_for(expr, env)
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = [_rewrite(child, env) for child in children]
+    if all(new is old for new, old in zip(new_children, children)):
+        return expr
+    return expr.replace_children(new_children)
+
+
+def _rewrite_let(expr: CLet) -> CExpr:
+    uses = usage_count(expr.body, expr.var)
+    if uses == 0:
+        return expr.body
+    if uses == 1 or isinstance(expr.value, (CVar, CLit)):
+        return substitute(expr.body, expr.var, expr.value)
+    return expr
+
+
+def _rewrite_for(expr: CFor, env: Dict) -> CExpr:
+    if expr.position_var is not None:
+        position_uses = usage_count(expr.body, expr.position_var)
+        if expr.where is not None:
+            position_uses += usage_count(expr.where, expr.position_var)
+        if position_uses == 0:
+            expr = CFor(expr.var, None, expr.source, expr.where, expr.body)
+    if expr.position_var is not None:
+        return expr
+    # for-identity: ``for $x in E return $x`` ≡ E (no filter attached).
+    if (expr.where is None and isinstance(expr.body, CVar)
+            and expr.body.var == expr.var):
+        return expr.source
+    # singleton source: the loop runs exactly once, so it is a let.
+    if expr.where is None and sequence_facts(expr.source, env).singleton:
+        return CLet(expr.var, expr.source, expr.body)
+    return expr

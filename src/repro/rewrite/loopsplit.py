@@ -1,0 +1,61 @@
+"""The loop-split rewrite (paper Section 3, "Loop split").
+
+::
+
+    for $x in Expr1 (where Cond1)? return
+      for $y in Expr2 (where Cond2)? return Expr3
+    ──────────────────────────────────────────────
+    for $y in
+      (for $x in Expr1 (where Cond1)? return Expr2)
+    (where Cond2)? return Expr3
+
+Side conditions (from the paper):
+
+* neither loop carries a positional (``at``) variable — splitting would
+  change what the position is counted against (the paper's
+  ``$d//person[position()=1]`` example);
+* ``$x`` must not occur free in ``Cond2`` or ``Expr3`` (it goes out of
+  scope for them).
+
+The rewrite imposes the left-deep loop nesting that the algebraic
+compilation phase expects (the paper's Q1-tp shape).
+"""
+
+from __future__ import annotations
+
+from ..xqcore.cast import CExpr, CFor, free_vars
+
+
+def split_loops(expr: CExpr) -> CExpr:
+    """Apply loop splitting everywhere, to fixpoint."""
+    while True:
+        rewritten = _rewrite(expr)
+        if rewritten is expr:
+            return expr
+        expr = rewritten
+
+
+def _rewrite(expr: CExpr) -> CExpr:
+    expr = _split_here(expr)
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = [_rewrite(child) for child in children]
+    if all(new is old for new, old in zip(new_children, children)):
+        return expr
+    return expr.replace_children(new_children)
+
+
+def _split_here(expr: CExpr) -> CExpr:
+    while (isinstance(expr, CFor) and expr.position_var is None
+           and isinstance(expr.body, CFor)
+           and expr.body.position_var is None):
+        outer, inner = expr, expr.body
+        x = outer.var
+        if inner.where is not None and x in free_vars(inner.where):
+            break
+        if x in free_vars(inner.body):
+            break
+        new_source = CFor(x, None, outer.source, outer.where, inner.source)
+        expr = CFor(inner.var, None, new_source, inner.where, inner.body)
+    return expr

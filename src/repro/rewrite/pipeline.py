@@ -1,0 +1,80 @@
+"""The full Core rewriting pipeline to TPNF' (paper Section 3).
+
+Runs the four rule families — type rewritings, FLWOR rewritings,
+document-order rewritings and loop splitting — in the paper's order,
+iterating the whole sequence until a fixpoint.  Each family individually
+shrinks or preserves the expression (no family undoes another), so the
+iteration terminates; a round cap turns a hypothetical divergence into a
+loud error instead of a hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+from ..xqcore.cast import CExpr
+from ..xqcore.pretty import alpha_canonical
+from .docorder import remove_redundant_ddo
+from .flwor import rewrite_flwor
+from .loopsplit import split_loops
+from .typeswitch import rewrite_typeswitches
+
+_MAX_ROUNDS = 50
+
+
+@dataclass(frozen=True)
+class RewriteOptions:
+    """Toggles for the rule families (used by the ablation benchmarks)."""
+
+    typeswitch: bool = True
+    flwor: bool = True
+    docorder: bool = True
+    loop_split: bool = True
+
+    @classmethod
+    def none(cls) -> "RewriteOptions":
+        return cls(typeswitch=False, flwor=False, docorder=False,
+                   loop_split=False)
+
+
+@dataclass
+class RewriteTrace:
+    """Per-pass snapshots, for explain() output and the examples."""
+
+    steps: List[Tuple[str, CExpr]] = field(default_factory=list)
+
+    def record(self, name: str, expr: CExpr) -> None:
+        self.steps.append((name, expr))
+
+
+def rewrite_to_tpnf(expr: CExpr,
+                    options: RewriteOptions | None = None,
+                    trace: RewriteTrace | None = None) -> CExpr:
+    """Rewrite a normalized core expression into TPNF'."""
+    options = options or RewriteOptions()
+    passes: list[tuple[str, Callable[[CExpr], CExpr]]] = []
+    if options.typeswitch:
+        passes.append(("typeswitch", rewrite_typeswitches))
+    if options.flwor:
+        passes.append(("flwor", rewrite_flwor))
+    if options.docorder:
+        passes.append(("docorder", remove_redundant_ddo))
+    if options.loop_split:
+        passes.append(("loop-split", split_loops))
+    if not passes:
+        return expr
+
+    previous = alpha_canonical(expr)
+    for _ in range(_MAX_ROUNDS):
+        for name, rule in passes:
+            rewritten = rule(expr)
+            if trace is not None and rewritten is not expr:
+                trace.record(name, rewritten)
+            expr = rewritten
+        current = alpha_canonical(expr)
+        if current == previous:
+            return expr
+        previous = current
+    raise RuntimeError("core rewriting did not reach a fixpoint "
+                       f"within {_MAX_ROUNDS} rounds")

@@ -1,0 +1,104 @@
+"""TPNF' normal-form recognition.
+
+The paper (Section 3) defines TPNF as the normal form the rewritings
+reach: "after rewriting, queries corresponding to tree patterns are
+always in the same form, which is a specific combination of step
+expressions, iteration, and calls to sorting by document order and
+duplicate elimination".  This module implements a *recognizer* for that
+shape, used to assert the rewriting pipeline's contract in tests and to
+diagnose why a query fragment was not detected as a tree pattern.
+
+A core expression is in the **tree-pattern fragment of TPNF'** when it
+matches ``TP`` in:
+
+.. code-block:: text
+
+    TP     ::= ddo(LOOPS) | LOOPS
+    LOOPS  ::= STEP
+             | for $v in LOOPS (where EBV)? return STEP
+             | for $v in LOOPS (where EBV)? return $v
+             | $var
+    STEP   ::= downward-axis step whose input is the enclosing loop
+               variable (or an in-scope variable for the innermost)
+    EBV    ::= fn:boolean of a TP (existential predicate)
+
+Expressions outside the fragment (positional loops, value comparisons,
+arithmetic, …) are reported with the reason they fall outside — the
+diagnostics mirror which plan operators will remain around the detected
+patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..xqcore.cast import (CCall, CDDO, CExpr, CFor, CStep, CVar)
+
+
+@dataclass
+class TPNFReport:
+    """Outcome of the recognizer."""
+
+    is_tree_pattern: bool
+    #: human-readable reasons the expression (or parts) fall outside.
+    reasons: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.is_tree_pattern
+
+
+def check_tpnf(expr: CExpr) -> TPNFReport:
+    """Is this core expression a single-tree-pattern TPNF' term?"""
+    report = TPNFReport(is_tree_pattern=True)
+    body = expr.arg if isinstance(expr, CDDO) else expr
+    _check_loops(body, report)
+    return report
+
+
+def _fail(report: TPNFReport, reason: str) -> None:
+    report.is_tree_pattern = False
+    report.reasons.append(reason)
+
+
+def _check_loops(expr: CExpr, report: TPNFReport) -> None:
+    if isinstance(expr, CVar):
+        return
+    if isinstance(expr, CStep):
+        _check_step(expr, report)
+        return
+    if isinstance(expr, CFor):
+        if expr.position_var is not None:
+            _fail(report, "positional (at) variable in a loop")
+        _check_loops(expr.source, report)
+        if expr.where is not None:
+            _check_predicate(expr.where, report)
+        body = expr.body
+        if isinstance(body, CVar):
+            if body.var != expr.var:
+                _fail(report, "loop returns a foreign variable")
+            return
+        if isinstance(body, CStep):
+            _check_step(body, report)
+            return
+        _fail(report, f"loop body is {type(body).__name__}, "
+                      "not a step or the loop variable")
+        return
+    _fail(report, f"{type(expr).__name__} outside the loop/step fragment")
+
+
+def _check_step(step: CStep, report: TPNFReport) -> None:
+    if not step.axis.is_downward:
+        _fail(report, f"non-downward axis {step.axis.value}")
+    if not isinstance(step.input, CVar):
+        _fail(report, "step input is not a variable")
+
+
+def _check_predicate(expr: CExpr, report: TPNFReport) -> None:
+    if isinstance(expr, CCall) and expr.name == "fn:boolean" \
+            and len(expr.args) == 1:
+        _check_loops(expr.args[0], report)
+        return
+    _fail(report,
+          f"where-clause is {type(expr).__name__}, not an existential "
+          "fn:boolean(...)")

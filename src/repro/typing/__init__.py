@@ -1,0 +1,5 @@
+"""Static typing support for the typeswitch rewritings."""
+
+from .types import ItemType, TypeEnv, infer_type
+
+__all__ = ["ItemType", "TypeEnv", "infer_type"]

@@ -1,0 +1,186 @@
+"""XPath axis navigation primitives.
+
+Each axis is a function from a single context node to the sequence of
+nodes on that axis, *in axis order* (forward axes in document order,
+reverse axes in reverse document order, per the XPath 1.0/2.0 data
+model).  These primitives are what the navigational ``TreeJoin`` operator
+and the NLJoin tree-pattern strategy execute directly; the index-based
+strategies (TwigJoin, SCJoin) bypass them in favour of per-tag streams.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Iterator, List
+
+from .node import AttributeNode, DocumentNode, ElementNode, Node
+from .nodetest import NodeTest
+
+
+class Axis(str, Enum):
+    """All axes supported by the engine."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    SELF = "self"
+    ATTRIBUTE = "attribute"
+    PARENT = "parent"
+    ANCESTOR = "ancestor"
+    ANCESTOR_OR_SELF = "ancestor-or-self"
+    FOLLOWING_SIBLING = "following-sibling"
+    PRECEDING_SIBLING = "preceding-sibling"
+    FOLLOWING = "following"
+    PRECEDING = "preceding"
+
+    @property
+    def is_forward(self) -> bool:
+        return self not in _REVERSE_AXES
+
+    @property
+    def is_reverse(self) -> bool:
+        return self in _REVERSE_AXES
+
+    @property
+    def principal_kind(self) -> str:
+        return "attribute" if self is Axis.ATTRIBUTE else "element"
+
+    @property
+    def is_downward(self) -> bool:
+        """True for the axes allowed inside tree patterns."""
+        return self in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF,
+                        Axis.SELF, Axis.ATTRIBUTE)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_REVERSE_AXES = frozenset({
+    Axis.PARENT, Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF,
+    Axis.PRECEDING_SIBLING, Axis.PRECEDING,
+})
+
+
+def _children(node: Node) -> Iterator[Node]:
+    return iter(node.children)
+
+
+def _descendants(node: Node) -> Iterator[Node]:
+    return node.iter_descendants()
+
+
+def _descendants_or_self(node: Node) -> Iterator[Node]:
+    return node.iter_descendants_or_self()
+
+
+def _self(node: Node) -> Iterator[Node]:
+    yield node
+
+
+def _attributes(node: Node) -> Iterator[Node]:
+    if isinstance(node, ElementNode):
+        yield from node.attributes
+
+
+def _parent(node: Node) -> Iterator[Node]:
+    if node.parent is not None:
+        yield node.parent
+
+
+def _ancestors(node: Node) -> Iterator[Node]:
+    return node.iter_ancestors()
+
+
+def _ancestors_or_self(node: Node) -> Iterator[Node]:
+    yield node
+    yield from node.iter_ancestors()
+
+
+def _siblings(node: Node) -> List[Node]:
+    if node.parent is None or isinstance(node, AttributeNode):
+        return []
+    return list(node.parent.children)
+
+
+def _following_siblings(node: Node) -> Iterator[Node]:
+    siblings = _siblings(node)
+    emit = False
+    for sibling in siblings:
+        if emit:
+            yield sibling
+        elif sibling is node:
+            emit = True
+
+
+def _preceding_siblings(node: Node) -> Iterator[Node]:
+    collected: list[Node] = []
+    for sibling in _siblings(node):
+        if sibling is node:
+            break
+        collected.append(sibling)
+    return iter(reversed(collected))
+
+
+def _following(node: Node) -> Iterator[Node]:
+    """Nodes after the end of ``node``'s subtree, excluding ancestors."""
+    current: Node | None = node
+    while current is not None:
+        for sibling in _following_siblings(current):
+            yield from sibling.iter_descendants_or_self()
+        current = current.parent
+
+
+def _preceding(node: Node) -> Iterator[Node]:
+    """Nodes entirely before ``node``, excluding ancestors, reverse order."""
+    collected: list[Node] = []
+    current: Node | None = node
+    while current is not None:
+        before: list[Node] = []
+        for sibling in _siblings(current):
+            if sibling is current:
+                break
+            before.append(sibling)
+        for sibling in before:
+            collected.extend(sibling.iter_descendants_or_self())
+        current = current.parent
+    collected.sort(key=lambda item: item.pre)
+    return iter(reversed(collected))
+
+
+_AXIS_FUNCTIONS: dict[Axis, Callable[[Node], Iterator[Node]]] = {
+    Axis.CHILD: _children,
+    Axis.DESCENDANT: _descendants,
+    Axis.DESCENDANT_OR_SELF: _descendants_or_self,
+    Axis.SELF: _self,
+    Axis.ATTRIBUTE: _attributes,
+    Axis.PARENT: _parent,
+    Axis.ANCESTOR: _ancestors,
+    Axis.ANCESTOR_OR_SELF: _ancestors_or_self,
+    Axis.FOLLOWING_SIBLING: _following_siblings,
+    Axis.PRECEDING_SIBLING: _preceding_siblings,
+    Axis.FOLLOWING: _following,
+    Axis.PRECEDING: _preceding,
+}
+
+
+def axis_nodes(node: Node, axis: Axis) -> Iterator[Node]:
+    """All nodes on ``axis`` from ``node``, in axis order."""
+    return _AXIS_FUNCTIONS[axis](node)
+
+
+def step(node: Node, axis: Axis, test: NodeTest) -> list[Node]:
+    """Evaluate one location step from a single context node.
+
+    Returns nodes in axis order (document order for forward axes); with a
+    single context node the result is duplicate-free by construction.
+    """
+    kind = axis.principal_kind
+    return [candidate for candidate in axis_nodes(node, axis)
+            if test.matches(candidate, kind)]
+
+
+def axis_from_string(text: str) -> Axis:
+    try:
+        return Axis(text)
+    except ValueError as error:
+        raise ValueError(f"unknown axis {text!r}") from error

@@ -1,0 +1,70 @@
+"""A small programmatic document builder.
+
+For tests and applications that construct documents in code rather than
+parsing XML text::
+
+    from repro.xmltree.builder import E, build_document
+
+    doc = build_document(
+        E("site",
+          E("person", E("name", "John"), id="p1"),
+          E("person", E("name", "Mary"), id="p2")))
+
+``E(tag, *children, **attributes)`` takes child elements and/or strings
+(text nodes); attribute names that collide with Python keywords can be
+passed with a trailing underscore (``class_="x"`` → ``class="x"``).
+``build_document`` assigns the region encoding and returns an
+:class:`~repro.xmltree.document.IndexedDocument` ready for querying.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .document import IndexedDocument
+from .node import DocumentNode, ElementNode, TextNode, assign_regions
+
+Child = Union["E", str]
+
+
+class E:
+    """A lightweight element specification."""
+
+    def __init__(self, tag: str, *children: Child, **attributes: object) -> None:
+        self.tag = tag
+        self.children = children
+        self.attributes = {
+            name.rstrip("_"): str(value)
+            for name, value in attributes.items()
+        }
+
+    def to_node(self) -> ElementNode:
+        element = ElementNode(self.tag)
+        for name, value in self.attributes.items():
+            element.set_attribute(name, value)
+        for child in self.children:
+            if isinstance(child, E):
+                element.append_child(child.to_node())
+            elif isinstance(child, str):
+                # The XDM forbids adjacent text siblings: merge.
+                previous = element.children[-1] if element.children else None
+                if isinstance(previous, TextNode):
+                    previous.text += child
+                else:
+                    element.append_child(TextNode(child))
+            else:
+                raise TypeError(
+                    f"E() children must be E or str, got "
+                    f"{type(child).__name__}")
+        return element
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"E({self.tag!r}, {len(self.children)} children)"
+
+
+def build_document(root: E, uri: str = "") -> IndexedDocument:
+    """Materialize an :class:`E` tree as an indexed document."""
+    document = DocumentNode(uri)
+    document.append_child(root.to_node())
+    assign_regions(document)
+    return IndexedDocument(document)

@@ -1,0 +1,81 @@
+"""XML serialization for the node classes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .node import AttributeNode, DocumentNode, ElementNode, Node, TextNode
+
+
+def _escape_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attribute(text: str) -> str:
+    return _escape_text(text).replace('"', "&quot;")
+
+
+def serialize(node: Node, indent: Optional[int] = None) -> str:
+    """Serialize a node (document, element, text or attribute) to XML.
+
+    With ``indent`` set, element-only content is pretty-printed one
+    element per line; mixed/text content is always emitted verbatim so
+    round-tripping unindented documents is lossless.
+    """
+    if isinstance(node, TextNode):
+        return _escape_text(node.text)
+    if isinstance(node, AttributeNode):
+        return f'{node.name}="{_escape_attribute(node.value)}"'
+    if isinstance(node, DocumentNode):
+        chunks = [serialize(child, indent) for child in node.children]
+        separator = "\n" if indent is not None else ""
+        return separator.join(chunks)
+    if isinstance(node, ElementNode):
+        parts: list[str] = []
+        _serialize_element(node, parts, indent, 0)
+        return "".join(parts)
+    raise TypeError(f"cannot serialize {type(node).__name__}")
+
+
+def _open_tag(element: ElementNode, self_closing: bool) -> str:
+    attributes = "".join(
+        f' {attribute.name}="{_escape_attribute(attribute.value)}"'
+        for attribute in element.attributes)
+    return f"<{element.name}{attributes}{'/' if self_closing else ''}>"
+
+
+def _serialize_element(root: ElementNode, parts: list[str], indent: Optional[int], depth: int) -> None:
+    """Serialize one element subtree using an explicit stack.
+
+    Work items are ("node", node, depth) and ("close", tag-name, depth,
+    pretty) pairs; "close" with pretty=True is preceded by a newline and
+    indentation.
+    """
+    stack: list[tuple] = [("node", root, depth)]
+    while stack:
+        item = stack.pop()
+        if item[0] == "close":
+            _, tag, level, pretty = item
+            if pretty:
+                parts.append("\n" + " " * ((indent or 0) * level))
+            parts.append(f"</{tag}>")
+            continue
+        _, node, level = item
+        if isinstance(node, TextNode):
+            parts.append(_escape_text(node.text))
+            continue
+        assert isinstance(node, ElementNode)
+        if indent is not None and level > depth:
+            parts.append("\n" + " " * (indent * level))
+        if not node.children:
+            parts.append(_open_tag(node, self_closing=True))
+            continue
+        parts.append(_open_tag(node, self_closing=False))
+        has_text = any(isinstance(child, TextNode) for child in node.children)
+        pretty_close = indent is not None and not has_text
+        stack.append(("close", node.name, level, pretty_close))
+        for child in reversed(node.children):
+            # Inside mixed content, suppress indentation by keeping the
+            # child at the parent's level when text is present.
+            child_level = level + 1 if not has_text else depth
+            stack.append(("node", child, child_level))

@@ -1,0 +1,17 @@
+"""XQuery Core: AST, normalization and pretty-printing."""
+
+from .cast import (CaseClause, CCall, CDDO, CEmpty, CExpr, CFor, CGenCmp,
+                   CIf, CArith, CLet, CLit, CLogical, CSeq, CStep,
+                   CTypeswitch, CVar, Var, count_nodes, ebv_call, free_vars,
+                   fresh_var, smart_ddo, substitute, usage_count, walk)
+from .normalize import NormalizationError, NormalizedQuery, normalize_query
+from .pretty import alpha_canonical, pretty
+
+__all__ = [
+    "CaseClause", "CCall", "CDDO", "CEmpty", "CExpr", "CFor", "CGenCmp",
+    "CIf", "CArith", "CLet", "CLit", "CLogical", "CSeq", "CStep",
+    "CTypeswitch", "CVar", "Var", "count_nodes", "ebv_call", "free_vars",
+    "fresh_var", "smart_ddo", "substitute", "usage_count", "walk",
+    "NormalizationError", "NormalizedQuery", "normalize_query",
+    "alpha_canonical", "pretty",
+]

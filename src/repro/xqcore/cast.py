@@ -1,0 +1,430 @@
+"""XQuery Core AST.
+
+The Core is the target of normalization (paper Section 2): a small
+explicitly-scoped calculus with ``let``, ``for`` (with optional
+positional variable and ``where`` clause, as in the paper's examples),
+``typeswitch``, conditionals, navigation steps, calls to built-in
+functions, and the special function ``fs:distinct-doc-order`` (``ddo``).
+
+Variables are *identity-based*: every binder introduces a fresh
+:class:`Var` object, so rewrites never capture.  Display names (``dot``,
+``seq``, ``position``, ``last``, …) are kept for pretty-printing in the
+paper's concrete syntax.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..xmltree.axes import Axis
+from ..xmltree.nodetest import NodeTest
+
+_var_counter = itertools.count(1)
+
+
+class Var:
+    """A core variable with a stable identity.
+
+    ``origin`` records provenance: ``"user"`` for variables written in
+    the query, ``"external"`` for free query variables bound by the
+    engine (always nodes in this engine), and ``"focus"`` for the
+    normalization-introduced context variables (``$dot``, ``$seq``,
+    ``$position``, ``$last``), whose types are known by construction.
+    """
+
+    __slots__ = ("name", "uid", "origin")
+
+    def __init__(self, name: str, uid: Optional[int] = None,
+                 origin: str = "user") -> None:
+        self.name = name
+        self.uid = uid if uid is not None else next(_var_counter)
+        self.origin = origin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"${self.name}_{self.uid}"
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.uid == self.uid
+
+
+def fresh_var(name: str, origin: str = "user") -> Var:
+    return Var(name, origin=origin)
+
+
+class CExpr:
+    """Base class of core expressions."""
+
+    def children(self) -> Sequence["CExpr"]:
+        raise NotImplementedError
+
+    def replace_children(self, new_children: Sequence["CExpr"]) -> "CExpr":
+        """Rebuild this node with new children (same shapes/arity)."""
+        raise NotImplementedError
+
+    def bound_vars(self) -> Sequence[Var]:
+        """Variables bound *by this node* (scoping over some children)."""
+        return ()
+
+
+@dataclass
+class CLit(CExpr):
+    """A literal constant (string, int, float or bool)."""
+
+    value: Union[str, int, float, bool]
+
+    def children(self) -> Sequence[CExpr]:
+        return ()
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CLit":
+        return CLit(self.value)
+
+
+@dataclass
+class CEmpty(CExpr):
+    """The empty sequence ``()``."""
+
+    def children(self) -> Sequence[CExpr]:
+        return ()
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CEmpty":
+        return CEmpty()
+
+
+@dataclass
+class CVar(CExpr):
+    """A variable reference."""
+
+    var: Var
+
+    def children(self) -> Sequence[CExpr]:
+        return ()
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CVar":
+        return CVar(self.var)
+
+
+@dataclass
+class CSeq(CExpr):
+    """Sequence construction ``E1, E2, ...``."""
+
+    items: List[CExpr]
+
+    def children(self) -> Sequence[CExpr]:
+        return self.items
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CSeq":
+        return CSeq(list(new_children))
+
+
+@dataclass
+class CLet(CExpr):
+    """``let $var := value return body``."""
+
+    var: Var
+    value: CExpr
+    body: CExpr
+
+    def children(self) -> Sequence[CExpr]:
+        return (self.value, self.body)
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CLet":
+        value, body = new_children
+        return CLet(self.var, value, body)
+
+    def bound_vars(self) -> Sequence[Var]:
+        return (self.var,)
+
+
+@dataclass
+class CFor(CExpr):
+    """``for $var (at $pos)? in source (where cond)? return body``.
+
+    The optional ``where`` clause is part of the node, exactly as in the
+    paper's core examples (Q1a-n line 11), because the loop-split and
+    tree-pattern rewrites treat the filtered loop as one unit.
+    """
+
+    var: Var
+    position_var: Optional[Var]
+    source: CExpr
+    where: Optional[CExpr]
+    body: CExpr
+
+    def children(self) -> Sequence[CExpr]:
+        parts: list[CExpr] = [self.source]
+        if self.where is not None:
+            parts.append(self.where)
+        parts.append(self.body)
+        return parts
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CFor":
+        if self.where is not None:
+            source, where, body = new_children
+            return CFor(self.var, self.position_var, source, where, body)
+        source, body = new_children
+        return CFor(self.var, self.position_var, source, None, body)
+
+    def bound_vars(self) -> Sequence[Var]:
+        if self.position_var is not None:
+            return (self.var, self.position_var)
+        return (self.var,)
+
+
+@dataclass
+class CIf(CExpr):
+    """``if (cond) then t else e`` — cond uses effective boolean value."""
+
+    condition: CExpr
+    then_branch: CExpr
+    else_branch: CExpr
+
+    def children(self) -> Sequence[CExpr]:
+        return (self.condition, self.then_branch, self.else_branch)
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CIf":
+        condition, then_branch, else_branch = new_children
+        return CIf(condition, then_branch, else_branch)
+
+
+@dataclass
+class CStep(CExpr):
+    """A navigation step ``input/axis::test`` from every node of ``input``.
+
+    The dynamic semantics is the XPath step applied to each item of the
+    input sequence in turn, concatenating results in input order — the
+    navigational primitive that compiles to the ``TreeJoin`` operator.
+    With a *single* context node the result is in document order and
+    duplicate-free.
+    """
+
+    axis: Axis
+    test: NodeTest
+    input: CExpr
+
+    def children(self) -> Sequence[CExpr]:
+        return (self.input,)
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CStep":
+        (input_expr,) = new_children
+        return CStep(self.axis, self.test, input_expr)
+
+
+@dataclass
+class CDDO(CExpr):
+    """``fs:distinct-doc-order(arg)`` — sort by document order + dedup."""
+
+    arg: CExpr
+
+    def children(self) -> Sequence[CExpr]:
+        return (self.arg,)
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CDDO":
+        (arg,) = new_children
+        return CDDO(arg)
+
+
+@dataclass
+class CCall(CExpr):
+    """A call to a built-in function (``fn:count``, ``fn:boolean``, …)."""
+
+    name: str
+    args: List[CExpr]
+
+    def children(self) -> Sequence[CExpr]:
+        return self.args
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CCall":
+        return CCall(self.name, list(new_children))
+
+
+@dataclass
+class CGenCmp(CExpr):
+    """General comparison with existential semantics over atomized values."""
+
+    op: str  # "=" "!=" "<" "<=" ">" ">="
+    left: CExpr
+    right: CExpr
+
+    def children(self) -> Sequence[CExpr]:
+        return (self.left, self.right)
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CGenCmp":
+        left, right = new_children
+        return CGenCmp(self.op, left, right)
+
+
+@dataclass
+class CArith(CExpr):
+    """Arithmetic on atomized singletons (empty-propagating)."""
+
+    op: str  # "+" "-" "*" "div" "mod"
+    left: CExpr
+    right: CExpr
+
+    def children(self) -> Sequence[CExpr]:
+        return (self.left, self.right)
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CArith":
+        left, right = new_children
+        return CArith(self.op, left, right)
+
+
+@dataclass
+class CLogical(CExpr):
+    """``and`` / ``or`` over effective boolean values."""
+
+    op: str  # "and" | "or"
+    left: CExpr
+    right: CExpr
+
+    def children(self) -> Sequence[CExpr]:
+        return (self.left, self.right)
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CLogical":
+        left, right = new_children
+        return CLogical(self.op, left, right)
+
+
+@dataclass
+class CaseClause:
+    """One ``case $var as seqtype return body`` clause.
+
+    ``seqtype`` is a coarse sequence type from the small type system in
+    :mod:`repro.typing` — the paper only needs ``numeric()``.
+    """
+
+    seqtype: str
+    var: Var
+    body: CExpr
+
+
+@dataclass
+class CTypeswitch(CExpr):
+    """``typeswitch (input) case ... default $var return body``."""
+
+    input: CExpr
+    cases: List[CaseClause]
+    default_var: Var
+    default_body: CExpr
+
+    def children(self) -> Sequence[CExpr]:
+        parts: list[CExpr] = [self.input]
+        parts.extend(case.body for case in self.cases)
+        parts.append(self.default_body)
+        return parts
+
+    def replace_children(self, new_children: Sequence[CExpr]) -> "CTypeswitch":
+        input_expr = new_children[0]
+        case_bodies = new_children[1:-1]
+        default_body = new_children[-1]
+        cases = [CaseClause(case.seqtype, case.var, body)
+                 for case, body in zip(self.cases, case_bodies)]
+        return CTypeswitch(input_expr, cases, self.default_var, default_body)
+
+    def bound_vars(self) -> Sequence[Var]:
+        return tuple(case.var for case in self.cases) + (self.default_var,)
+
+
+# -- traversal utilities -------------------------------------------------------
+
+
+def walk(expr: CExpr) -> Iterable[CExpr]:
+    """All sub-expressions, pre-order, including ``expr`` itself."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def free_vars(expr: CExpr) -> set[Var]:
+    """The free variables of ``expr``.
+
+    Because binders are identity-based, shadowing cannot occur and the
+    computation is a simple set difference over the whole tree.
+    """
+    used: set[Var] = set()
+    bound: set[Var] = set()
+    for node in walk(expr):
+        if isinstance(node, CVar):
+            used.add(node.var)
+        bound.update(node.bound_vars())
+        if isinstance(node, CTypeswitch):
+            bound.update(case.var for case in node.cases)
+    return used - bound
+
+
+def usage_count(expr: CExpr, var: Var) -> int:
+    """How many times ``var`` is referenced in ``expr``.
+
+    This is the auxiliary judgment of the paper's FLWOR rewritings.
+    Occurrences inside loops count as *many* (2) because inlining a
+    non-trivial expression into a loop body would duplicate work and,
+    for ``at``-counted loops, change positions — matching the usage
+    analysis implemented in Galax.
+    """
+
+    def count(node: CExpr, multiplier: int) -> int:
+        if isinstance(node, CVar):
+            return multiplier if node.var == var else 0
+        total = 0
+        if isinstance(node, CFor):
+            total += count(node.source, multiplier)
+            inner = 2  # conservatively "many" inside the loop
+            if node.where is not None:
+                total += count(node.where, inner)
+            total += count(node.body, inner)
+            return total
+        for child in node.children():
+            total += count(child, multiplier)
+        return total
+
+    return count(expr, 1)
+
+
+def substitute(expr: CExpr, var: Var, replacement: CExpr) -> CExpr:
+    """Capture-free substitution ``[expr | var => replacement]``.
+
+    Binder identities make capture impossible; the replacement is shared
+    (not copied), which is safe because rewrites only inline single-use
+    bindings or bindings of binder-free expressions.
+    """
+    if isinstance(expr, CVar):
+        return replacement if expr.var == var else expr
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = [substitute(child, var, replacement) for child in children]
+    if all(new is old for new, old in zip(new_children, children)):
+        return expr
+    return expr.replace_children(new_children)
+
+
+def count_nodes(expr: CExpr) -> int:
+    """Size of the core expression (used to check rewrite termination)."""
+    return sum(1 for _ in walk(expr))
+
+
+def smart_ddo(expr: CExpr) -> CExpr:
+    """Build ``ddo(expr)``, collapsing ``ddo(ddo(E))`` to ``ddo(E)``."""
+    if isinstance(expr, CDDO):
+        return expr
+    return CDDO(expr)
+
+
+def ebv_call(expr: CExpr) -> CExpr:
+    """Wrap in ``fn:boolean`` unless already boolean-producing."""
+    if isinstance(expr, (CGenCmp, CLogical)):
+        return expr
+    if isinstance(expr, CCall) and expr.name in (
+            "fn:boolean", "fn:exists", "fn:empty", "fn:not", "fn:true",
+            "fn:false"):
+        return expr
+    if isinstance(expr, CLit) and isinstance(expr.value, bool):
+        return expr
+    return CCall("fn:boolean", [expr])

@@ -1,0 +1,290 @@
+"""Normalization: surface XQuery → XQuery Core (paper Section 2).
+
+Implements the W3C Formal Semantics normalization of the fragment, in
+the exact shape the paper shows for Q1a (its Q1a-n):
+
+* ``E1/E2`` exposes the implicit iteration::
+
+      ddo(let $seq := ddo([E1])
+          let $last := fn:count($seq)
+          for $dot at $position in $seq
+          return [E2])
+
+* ``E1[P]`` binds the context position and dispatches on the predicate's
+  type with a ``typeswitch``::
+
+      let $seq := [E1]
+      let $last := fn:count($seq)
+      for $dot at $position in $seq
+      where typeswitch ([P])
+              case $v as numeric() return $position = $v
+              default $v return fn:boolean($v)
+      return $dot
+
+* axis steps become ``ddo(axis::test)`` applied to the context variable;
+* FLWOR, conditionals, quantifiers and operators normalize structurally.
+
+Every generated binder is a fresh :class:`~repro.xqcore.cast.Var`, so the
+output is capture-free by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from ..xquery import ast
+from ..xmltree.axes import Axis
+from ..xmltree.nodetest import AnyKindTest
+from .cast import (CaseClause, CCall, CDDO, CEmpty, CExpr, CFor, CGenCmp,
+                   CIf, CArith, CLet, CLit, CLogical, CSeq, CStep,
+                   CTypeswitch, CVar, Var, ebv_call, fresh_var, smart_ddo)
+
+
+class NormalizationError(ValueError):
+    """Raised when an expression falls outside the supported fragment."""
+
+
+@dataclass(frozen=True)
+class NormEnv:
+    """Static environment used during normalization."""
+
+    bindings: Dict[str, Var]
+    dot: Optional[Var]
+    position: Optional[Var]
+    last: Optional[Var]
+
+    def bind(self, name: str, var: Var) -> "NormEnv":
+        updated = dict(self.bindings)
+        updated[name] = var
+        return replace(self, bindings=updated)
+
+    def with_focus(self, dot: Var, position: Var, last: Var) -> "NormEnv":
+        return replace(self, dot=dot, position=position, last=last)
+
+
+@dataclass
+class NormalizedQuery:
+    """The result of normalization."""
+
+    core: CExpr
+    #: surface name → core variable, for the engine to bind externals.
+    global_vars: Dict[str, Var]
+    #: the variable standing for the initial context item (absolute paths).
+    context_var: Var
+
+
+_UNPREFIXED_FUNCTIONS = {
+    "count", "boolean", "not", "exists", "empty", "root", "data", "string",
+    "sum", "avg", "min", "max", "name", "local-name", "number", "concat",
+    "contains", "starts-with", "string-length", "zero-or-one",
+    "exactly-one", "distinct-values", "true", "false", "position", "last",
+    "reverse", "subsequence", "doc",
+}
+
+
+def normalize_query(expr: ast.Expr) -> NormalizedQuery:
+    """Normalize a parsed query into the Core."""
+    normalizer = _Normalizer()
+    env = NormEnv(bindings={}, dot=normalizer.context_var,
+                  position=None, last=None)
+    core = normalizer.normalize(expr, env)
+    return NormalizedQuery(core=core,
+                           global_vars=normalizer.global_vars,
+                           context_var=normalizer.context_var)
+
+
+class _Normalizer:
+    def __init__(self) -> None:
+        self.global_vars: Dict[str, Var] = {}
+        self.context_var = fresh_var("fs:dot", origin="focus")
+
+    # -- dispatcher -------------------------------------------------------
+
+    def normalize(self, expr: ast.Expr, env: NormEnv) -> CExpr:
+        if isinstance(expr, ast.Literal):
+            return CLit(expr.value)
+        if isinstance(expr, ast.VarRef):
+            return CVar(self._resolve(expr.name, env))
+        if isinstance(expr, ast.ContextItem):
+            return CVar(self._require_dot(env))
+        if isinstance(expr, ast.RootExpr):
+            return CCall("fn:root", [CVar(self._require_dot(env))])
+        if isinstance(expr, ast.SequenceExpr):
+            if not expr.items:
+                return CEmpty()
+            return CSeq([self.normalize(item, env) for item in expr.items])
+        if isinstance(expr, ast.AxisStep):
+            return self._normalize_axis_step(expr, env)
+        if isinstance(expr, ast.FilterExpr):
+            base = self.normalize(expr.primary, env)
+            for predicate in expr.predicates:
+                base = self._normalize_predicate(base, predicate, env)
+            return base
+        if isinstance(expr, ast.PathExpr):
+            return self._normalize_path(expr, env)
+        if isinstance(expr, ast.FLWORExpr):
+            return self._normalize_flwor(expr, env)
+        if isinstance(expr, ast.IfExpr):
+            return CIf(ebv_call(self.normalize(expr.condition, env)),
+                       self.normalize(expr.then_branch, env),
+                       self.normalize(expr.else_branch, env))
+        if isinstance(expr, ast.QuantifiedExpr):
+            return self._normalize_quantified(expr, env)
+        if isinstance(expr, ast.BinaryExpr):
+            return self._normalize_binary(expr, env)
+        if isinstance(expr, ast.UnaryExpr):
+            operand = self.normalize(expr.operand, env)
+            if expr.op == "-":
+                return CArith("-", CLit(0), operand)
+            return operand
+        if isinstance(expr, ast.FunctionCall):
+            return self._normalize_call(expr, env)
+        raise NormalizationError(f"unsupported expression {expr!r}")
+
+    # -- helpers ----------------------------------------------------------
+
+    def _resolve(self, name: str, env: NormEnv) -> Var:
+        if name in env.bindings:
+            return env.bindings[name]
+        if name not in self.global_vars:
+            self.global_vars[name] = fresh_var(name, origin="external")
+        return self.global_vars[name]
+
+    def _require_dot(self, env: NormEnv) -> Var:
+        if env.dot is None:
+            raise NormalizationError("no context item in scope")
+        return env.dot
+
+    # -- paths ------------------------------------------------------------
+
+    def _normalize_axis_step(self, expr: ast.AxisStep, env: NormEnv) -> CExpr:
+        dot = self._require_dot(env)
+        base: CExpr = smart_ddo(CStep(expr.axis, expr.test, CVar(dot)))
+        for predicate in expr.predicates:
+            base = self._normalize_predicate(base, predicate, env)
+        return base
+
+    def _normalize_path(self, expr: ast.PathExpr, env: NormEnv) -> CExpr:
+        source = self.normalize(expr.left, env)
+        seq = fresh_var("seq", origin="focus")
+        last = fresh_var("last", origin="focus")
+        dot = fresh_var("dot", origin="focus")
+        position = fresh_var("position", origin="focus")
+        inner_env = env.with_focus(dot, position, last)
+        body = self.normalize(expr.right, inner_env)
+        return smart_ddo(
+            CLet(seq, smart_ddo(source),
+                 CLet(last, CCall("fn:count", [CVar(seq)]),
+                      CFor(dot, position, CVar(seq), None, body))))
+
+    def _normalize_predicate(self, base: CExpr, predicate: ast.Expr,
+                             env: NormEnv) -> CExpr:
+        seq = fresh_var("seq", origin="focus")
+        last = fresh_var("last", origin="focus")
+        dot = fresh_var("dot", origin="focus")
+        position = fresh_var("position", origin="focus")
+        inner_env = env.with_focus(dot, position, last)
+        predicate_core = self.normalize(predicate, inner_env)
+        case_var = fresh_var("v", origin="focus")
+        default_var = fresh_var("v", origin="focus")
+        where = CTypeswitch(
+            predicate_core,
+            cases=[CaseClause("numeric", case_var,
+                              CGenCmp("=", CVar(position), CVar(case_var)))],
+            default_var=default_var,
+            default_body=CCall("fn:boolean", [CVar(default_var)]))
+        return CLet(seq, base,
+                    CLet(last, CCall("fn:count", [CVar(seq)]),
+                         CFor(dot, position, CVar(seq), where, CVar(dot))))
+
+    # -- FLWOR ------------------------------------------------------------
+
+    def _normalize_flwor(self, expr: ast.FLWORExpr, env: NormEnv) -> CExpr:
+        return self._normalize_clauses(expr.clauses, expr.return_expr, env)
+
+    def _normalize_clauses(self, clauses: list, return_expr: ast.Expr,
+                           env: NormEnv) -> CExpr:
+        if not clauses:
+            return self.normalize(return_expr, env)
+        head, rest = clauses[0], clauses[1:]
+        if isinstance(head, ast.ForClause):
+            source = self.normalize(head.source, env)
+            var = fresh_var(head.var)
+            inner_env = env.bind(head.var, var)
+            position_var: Optional[Var] = None
+            if head.position_var is not None:
+                position_var = fresh_var(head.position_var)
+                inner_env = inner_env.bind(head.position_var, position_var)
+            where, rest = self._take_where(rest, inner_env)
+            body = self._normalize_clauses(rest, return_expr, inner_env)
+            return CFor(var, position_var, source, where, body)
+        if isinstance(head, ast.LetClause):
+            value = self.normalize(head.value, env)
+            var = fresh_var(head.var)
+            inner_env = env.bind(head.var, var)
+            body = self._normalize_clauses(rest, return_expr, inner_env)
+            return CLet(var, value, body)
+        if isinstance(head, ast.WhereClause):
+            condition = ebv_call(self.normalize(head.condition, env))
+            body = self._normalize_clauses(rest, return_expr, env)
+            return CIf(condition, body, CEmpty())
+        raise NormalizationError(f"unsupported clause {head!r}")
+
+    def _take_where(self, clauses: list, env: NormEnv):
+        """Attach a ``where`` directly following a ``for`` to that loop.
+
+        This matches the paper's core, which carries ``where`` on the
+        ``for`` construct.  A ``where`` elsewhere becomes a conditional.
+        """
+        if clauses and isinstance(clauses[0], ast.WhereClause):
+            condition = ebv_call(self.normalize(clauses[0].condition, env))
+            return condition, clauses[1:]
+        return None, clauses
+
+    # -- operators and calls ------------------------------------------------
+
+    def _normalize_quantified(self, expr: ast.QuantifiedExpr,
+                              env: NormEnv) -> CExpr:
+        var = fresh_var(expr.var)
+        inner_env = env.bind(expr.var, var)
+        source = self.normalize(expr.source, env)
+        condition = ebv_call(self.normalize(expr.condition, inner_env))
+        if expr.quantifier == "some":
+            loop = CFor(var, None, source, condition, CLit(True))
+            return CCall("fn:exists", [loop])
+        negated = CCall("fn:not", [condition])
+        loop = CFor(var, None, source, negated, CLit(True))
+        return CCall("fn:empty", [loop])
+
+    def _normalize_binary(self, expr: ast.BinaryExpr, env: NormEnv) -> CExpr:
+        left = self.normalize(expr.left, env)
+        right = self.normalize(expr.right, env)
+        if expr.op in ("and", "or"):
+            return CLogical(expr.op, ebv_call(left), ebv_call(right))
+        if expr.op in ("=", "!=", "<", "<=", ">", ">="):
+            return CGenCmp(expr.op, left, right)
+        if expr.op in ("+", "-", "*", "div", "mod"):
+            return CArith(expr.op, left, right)
+        if expr.op == "to":
+            return CCall("op:to", [left, right])
+        if expr.op == "|":
+            return smart_ddo(CCall("op:union", [left, right]))
+        raise NormalizationError(f"unsupported operator {expr.op!r}")
+
+    def _normalize_call(self, expr: ast.FunctionCall, env: NormEnv) -> CExpr:
+        name = expr.name
+        if ":" not in name:
+            if name not in _UNPREFIXED_FUNCTIONS:
+                raise NormalizationError(f"unknown function {name!r}")
+            name = f"fn:{name}"
+        if name == "fn:position":
+            if env.position is None:
+                raise NormalizationError("fn:position() used without focus")
+            return CVar(env.position)
+        if name == "fn:last":
+            if env.last is None:
+                raise NormalizationError("fn:last() used without focus")
+            return CVar(env.last)
+        args = [self.normalize(arg, env) for arg in expr.args]
+        return CCall(name, args)

@@ -1,0 +1,152 @@
+"""Pretty-printing of Core expressions in the paper's concrete syntax.
+
+The printer alpha-renames: each distinct variable gets its display name,
+suffixed with a counter when several distinct variables share one name
+(normalization introduces many ``$dot``/``$seq``).  Because renaming is
+assigned in a canonical traversal order, the printed form doubles as an
+alpha-equivalence witness: two Core expressions print identically if and
+only if they are equal up to variable renaming.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .cast import (CaseClause, CCall, CDDO, CEmpty, CExpr, CFor, CGenCmp,
+                   CIf, CArith, CLet, CLit, CLogical, CSeq, CStep,
+                   CTypeswitch, CVar, Var, walk)
+
+
+def pretty(expr: CExpr, indent: int = 0, unique_names: bool = True) -> str:
+    """Render a core expression.
+
+    With ``unique_names`` (the default), distinct variables sharing a
+    display name get numeric suffixes; without it, the raw display names
+    are used (closest to the paper's figures).
+    """
+    names = _assign_names(expr, unique_names)
+    return _Printer(names).render(expr, indent)
+
+
+def alpha_canonical(expr: CExpr) -> str:
+    """A canonical string equal for alpha-equivalent core expressions."""
+    names: Dict[Var, str] = {}
+    for node in walk(expr):
+        if isinstance(node, CVar) and node.var not in names:
+            names[node.var] = f"v{len(names)}"
+        for var in node.bound_vars():
+            if var not in names:
+                names[var] = f"v{len(names)}"
+    return _Printer(names, bare_dot_steps=False).render(expr, 0)
+
+
+def _assign_names(expr: CExpr, unique_names: bool) -> Dict[Var, str]:
+    seen: Dict[str, int] = {}
+    names: Dict[Var, str] = {}
+
+    def assign(var: Var) -> None:
+        if var in names:
+            return
+        count = seen.get(var.name, 0)
+        seen[var.name] = count + 1
+        if count == 0 or not unique_names:
+            names[var] = var.name
+        else:
+            names[var] = f"{var.name}{count + 1}"
+
+    for node in walk(expr):
+        for var in node.bound_vars():
+            assign(var)
+        if isinstance(node, CVar):
+            assign(node.var)
+    return names
+
+
+class _Printer:
+    def __init__(self, names: Dict[Var, str], bare_dot_steps: bool = True) -> None:
+        self.names = names
+        self.bare_dot_steps = bare_dot_steps
+
+    def var(self, var: Var) -> str:
+        return "$" + self.names.get(var, f"{var.name}?{var.uid}")
+
+    def inline(self, expr: CExpr) -> str:
+        """A compact one-line rendering for binding values and sources."""
+        return " ".join(self.render(expr, 0).split())
+
+    def render(self, expr: CExpr, depth: int) -> str:
+        pad = "  " * depth
+        if isinstance(expr, CLit):
+            if isinstance(expr.value, str):
+                return pad + '"' + expr.value.replace('"', '""') + '"'
+            if isinstance(expr.value, bool):
+                return pad + ("fn:true()" if expr.value else "fn:false()")
+            return pad + repr(expr.value)
+        if isinstance(expr, CEmpty):
+            return pad + "()"
+        if isinstance(expr, CVar):
+            return pad + self.var(expr.var)
+        if isinstance(expr, CSeq):
+            rendered = ", ".join(self.render(item, 0) for item in expr.items)
+            return f"{pad}({rendered})"
+        if isinstance(expr, CDDO):
+            compact = self.inline(expr.arg)
+            if len(compact) <= 60:
+                return f"{pad}ddo({compact})"
+            inner = self.render(expr.arg, depth + 1)
+            return f"{pad}ddo(\n{inner})"
+        if isinstance(expr, CStep):
+            input_text = self.render(expr.input, 0)
+            step_text = f"{expr.axis.value}::{expr.test.to_string()}"
+            if (self.bare_dot_steps and isinstance(expr.input, CVar)
+                    and expr.input.var.name == "dot"):
+                return pad + step_text
+            return f"{pad}{input_text}/{step_text}"
+        if isinstance(expr, CLet):
+            value = self.inline(expr.value)
+            body = self.render(expr.body, depth)
+            return f"{pad}let {self.var(expr.var)} := {value}\n{body}"
+        if isinstance(expr, CFor):
+            at_clause = (f" at {self.var(expr.position_var)}"
+                         if expr.position_var is not None else "")
+            source = self.inline(expr.source)
+            lines = [f"{pad}for {self.var(expr.var)}{at_clause} in {source}"]
+            if expr.where is not None:
+                lines.append(f"{pad}where " + self.inline(expr.where))
+            lines.append(f"{pad}return")
+            lines.append(self.render(expr.body, depth + 1))
+            return "\n".join(lines)
+        if isinstance(expr, CIf):
+            condition = self.render(expr.condition, 0).strip()
+            then_branch = self.render(expr.then_branch, depth + 1)
+            else_branch = self.render(expr.else_branch, depth + 1)
+            return (f"{pad}if ({condition})\n{pad}then\n{then_branch}\n"
+                    f"{pad}else\n{else_branch}")
+        if isinstance(expr, CCall):
+            name = "ddo" if expr.name == "fs:distinct-doc-order" else expr.name
+            args = ", ".join(self.render(arg, 0).strip() for arg in expr.args)
+            return f"{pad}{name}({args})"
+        if isinstance(expr, CGenCmp):
+            left = self.render(expr.left, 0).strip()
+            right = self.render(expr.right, 0).strip()
+            return f"{pad}{left} {expr.op} {right}"
+        if isinstance(expr, CArith):
+            left = self.render(expr.left, 0).strip()
+            right = self.render(expr.right, 0).strip()
+            return f"{pad}({left} {expr.op} {right})"
+        if isinstance(expr, CLogical):
+            left = self.render(expr.left, 0).strip()
+            right = self.render(expr.right, 0).strip()
+            return f"{pad}({left} {expr.op} {right})"
+        if isinstance(expr, CTypeswitch):
+            input_text = self.inline(expr.input)
+            lines = [f"{pad}typeswitch ({input_text})"]
+            for case in expr.cases:
+                body = self.render(case.body, 0).strip()
+                lines.append(f"{pad}  case {self.var(case.var)} as "
+                             f"{case.seqtype}() return {body}")
+            default = self.render(expr.default_body, 0).strip()
+            lines.append(f"{pad}  default {self.var(expr.default_var)} "
+                         f"return {default}")
+            return "\n".join(lines)
+        raise TypeError(f"cannot print {type(expr).__name__}")

@@ -1,0 +1,7 @@
+"""XQuery surface syntax: lexer, AST and parser."""
+
+from . import ast
+from .lexer import Token, XQuerySyntaxError, tokenize
+from .parser import parse_query
+
+__all__ = ["ast", "Token", "XQuerySyntaxError", "tokenize", "parse_query"]

@@ -1,0 +1,133 @@
+"""Resolution of the ``//`` abbreviation.
+
+The XQuery grammar expands ``E1//E2`` into
+``E1/descendant-or-self::node()/E2``.  The paper (footnote 2) assumes the
+usual simplification ``$d//person`` ≡ ``$d/descendant::person``; this
+module implements that collapse with its correct side condition.
+
+The collapse ``E/descendant-or-self::node()/child::T[P1]...[Pn]`` →
+``E/descendant::T[P1]...[Pn]`` is only valid when no predicate ``Pi``
+depends on the context *position* or *size*, because the two forms group
+the candidate nodes differently (``//person[1]`` is not
+``/descendant::person[1]``).  We use a conservative syntactic check: a
+predicate is positionally safe when its static type is certainly not
+numeric and it contains no top-focus ``position()``/``last()`` call.
+"""
+
+from __future__ import annotations
+
+from ..xmltree.axes import Axis
+from ..xmltree.nodetest import AnyKindTest
+from . import ast
+
+_BOOLEAN_FUNCTIONS = {
+    "boolean", "fn:boolean", "not", "fn:not", "exists", "fn:exists",
+    "empty", "fn:empty", "contains", "fn:contains", "starts-with",
+    "fn:starts-with", "true", "fn:true", "false", "fn:false",
+}
+
+_POSITIONAL_FUNCTIONS = {"position", "fn:position", "last", "fn:last"}
+
+
+def resolve_abbreviations(expr: ast.Expr) -> ast.Expr:
+    """Collapse safe ``descendant-or-self::node()/child::T`` pairs."""
+    expr = _map_children(expr)
+    if isinstance(expr, ast.PathExpr):
+        left, right = expr.left, expr.right
+        if (isinstance(left, ast.PathExpr)
+                and _is_dos_node_step(left.right)
+                and isinstance(right, ast.AxisStep)
+                and right.axis is Axis.CHILD
+                and all(_predicate_is_positionally_safe(pred)
+                        for pred in right.predicates)):
+            collapsed = ast.AxisStep(Axis.DESCENDANT, right.test,
+                                     list(right.predicates))
+            return ast.PathExpr(left.left, collapsed)
+    return expr
+
+
+def _map_children(expr: ast.Expr) -> ast.Expr:
+    """Apply :func:`resolve_abbreviations` to all sub-expressions in place."""
+    if isinstance(expr, ast.SequenceExpr):
+        expr.items = [resolve_abbreviations(item) for item in expr.items]
+    elif isinstance(expr, ast.AxisStep):
+        expr.predicates = [resolve_abbreviations(p) for p in expr.predicates]
+    elif isinstance(expr, ast.FilterExpr):
+        expr.primary = resolve_abbreviations(expr.primary)
+        expr.predicates = [resolve_abbreviations(p) for p in expr.predicates]
+    elif isinstance(expr, ast.PathExpr):
+        expr.left = resolve_abbreviations(expr.left)
+        expr.right = resolve_abbreviations(expr.right)
+    elif isinstance(expr, ast.FLWORExpr):
+        for clause in expr.clauses:
+            if isinstance(clause, ast.ForClause):
+                clause.source = resolve_abbreviations(clause.source)
+            elif isinstance(clause, ast.LetClause):
+                clause.value = resolve_abbreviations(clause.value)
+            else:
+                clause.condition = resolve_abbreviations(clause.condition)
+        expr.return_expr = resolve_abbreviations(expr.return_expr)
+    elif isinstance(expr, ast.IfExpr):
+        expr.condition = resolve_abbreviations(expr.condition)
+        expr.then_branch = resolve_abbreviations(expr.then_branch)
+        expr.else_branch = resolve_abbreviations(expr.else_branch)
+    elif isinstance(expr, ast.QuantifiedExpr):
+        expr.source = resolve_abbreviations(expr.source)
+        expr.condition = resolve_abbreviations(expr.condition)
+    elif isinstance(expr, ast.BinaryExpr):
+        expr.left = resolve_abbreviations(expr.left)
+        expr.right = resolve_abbreviations(expr.right)
+    elif isinstance(expr, ast.UnaryExpr):
+        expr.operand = resolve_abbreviations(expr.operand)
+    elif isinstance(expr, ast.FunctionCall):
+        expr.args = [resolve_abbreviations(arg) for arg in expr.args]
+    return expr
+
+
+def _is_dos_node_step(expr: ast.Expr) -> bool:
+    return (isinstance(expr, ast.AxisStep)
+            and expr.axis is Axis.DESCENDANT_OR_SELF
+            and isinstance(expr.test, AnyKindTest)
+            and not expr.predicates)
+
+
+def _predicate_is_positionally_safe(pred: ast.Expr) -> bool:
+    """True when the predicate can never be a numeric (positional) test
+    and does not read the context position/size of its own focus."""
+    if isinstance(pred, (ast.AxisStep, ast.PathExpr)):
+        # Node-typed; safe regardless of nested predicates (those have
+        # their own focus).
+        return True
+    if isinstance(pred, ast.FilterExpr):
+        return _predicate_is_positionally_safe(pred.primary)
+    if isinstance(pred, ast.VarRef):
+        # Unknown type: could be numeric — not safe.
+        return False
+    if isinstance(pred, ast.BinaryExpr):
+        if pred.op in ("=", "!=", "<", "<=", ">", ">="):
+            # Boolean-typed, but its operands read this focus' position.
+            return not (_uses_focus_position(pred.left)
+                        or _uses_focus_position(pred.right))
+        if pred.op in ("and", "or"):
+            return (_predicate_is_positionally_safe(pred.left)
+                    and _predicate_is_positionally_safe(pred.right))
+        return False
+    if isinstance(pred, ast.FunctionCall):
+        if pred.name not in _BOOLEAN_FUNCTIONS:
+            return False
+        return not any(_uses_focus_position(arg) for arg in pred.args)
+    if isinstance(pred, ast.QuantifiedExpr):
+        return not (_uses_focus_position(pred.source)
+                    or _uses_focus_position(pred.condition))
+    return False
+
+
+def _uses_focus_position(expr: ast.Expr) -> bool:
+    """Does ``expr`` call ``position()``/``last()`` on the current focus?
+
+    Nested predicates introduce their own focus, but we stay conservative
+    and flag any occurrence anywhere below.
+    """
+    if isinstance(expr, ast.FunctionCall) and expr.name in _POSITIONAL_FUNCTIONS:
+        return True
+    return any(_uses_focus_position(child) for child in ast.iter_children(expr))

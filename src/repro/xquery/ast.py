@@ -1,0 +1,250 @@
+"""Surface-syntax AST for the XQuery fragment.
+
+The shapes mirror the XQuery 1.0 grammar productions the paper's
+normalization rules target (path expressions (68)-(71), (81), FLWOR
+expressions, conditionals, quantifiers and operators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..xmltree.axes import Axis
+from ..xmltree.nodetest import NodeTest
+
+
+class Expr:
+    """Base class of surface expressions."""
+
+    def to_string(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+@dataclass
+class Literal(Expr):
+    """A string, integer or decimal literal."""
+
+    value: Union[str, int, float]
+
+    def to_string(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace('"', '""')
+            return f'"{escaped}"'
+        return repr(self.value)
+
+
+@dataclass
+class VarRef(Expr):
+    """``$name``."""
+
+    name: str
+
+    def to_string(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass
+class ContextItem(Expr):
+    """``.``"""
+
+    def to_string(self) -> str:
+        return "."
+
+
+@dataclass
+class RootExpr(Expr):
+    """The implicit root of an absolute path (leading ``/``)."""
+
+    def to_string(self) -> str:
+        return "fn:root(self::node())"
+
+
+@dataclass
+class SequenceExpr(Expr):
+    """Comma operator: ``E1, E2, ...`` (also the empty sequence ``()``)."""
+
+    items: List[Expr]
+
+    def to_string(self) -> str:
+        return "(" + ", ".join(item.to_string() for item in self.items) + ")"
+
+
+@dataclass
+class AxisStep(Expr):
+    """A location step ``axis::nodetest[pred]...``."""
+
+    axis: Axis
+    test: NodeTest
+    predicates: List[Expr] = field(default_factory=list)
+
+    def to_string(self) -> str:
+        base = f"{self.axis.value}::{self.test.to_string()}"
+        return base + "".join(f"[{pred.to_string()}]" for pred in self.predicates)
+
+
+@dataclass
+class FilterExpr(Expr):
+    """A primary expression with predicates, e.g. ``$x[foo]``."""
+
+    primary: Expr
+    predicates: List[Expr]
+
+    def to_string(self) -> str:
+        base = self.primary.to_string()
+        return base + "".join(f"[{pred.to_string()}]" for pred in self.predicates)
+
+
+@dataclass
+class PathExpr(Expr):
+    """``E1/E2`` — the binary path (slash) operator.
+
+    ``E1//E2`` is represented during parsing as
+    ``E1/descendant-or-self::node()/E2`` per the XQuery grammar, so only
+    the single slash form appears in the AST.
+    """
+
+    left: Expr
+    right: Expr
+
+    def to_string(self) -> str:
+        return f"{self.left.to_string()}/{self.right.to_string()}"
+
+
+@dataclass
+class ForClause:
+    var: str
+    position_var: Optional[str]
+    source: Expr
+
+    def to_string(self) -> str:
+        at_clause = f" at ${self.position_var}" if self.position_var else ""
+        return f"for ${self.var}{at_clause} in {self.source.to_string()}"
+
+
+@dataclass
+class LetClause:
+    var: str
+    value: Expr
+
+    def to_string(self) -> str:
+        return f"let ${self.var} := {self.value.to_string()}"
+
+
+@dataclass
+class WhereClause:
+    condition: Expr
+
+    def to_string(self) -> str:
+        return f"where {self.condition.to_string()}"
+
+
+Clause = Union[ForClause, LetClause, WhereClause]
+
+
+@dataclass
+class FLWORExpr(Expr):
+    """``for``/``let``/``where``/``return`` (no ``order by`` in the fragment)."""
+
+    clauses: List[Clause]
+    return_expr: Expr
+
+    def to_string(self) -> str:
+        clauses = " ".join(clause.to_string() for clause in self.clauses)
+        return f"{clauses} return {self.return_expr.to_string()}"
+
+
+@dataclass
+class IfExpr(Expr):
+    condition: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+    def to_string(self) -> str:
+        return (f"if ({self.condition.to_string()}) "
+                f"then {self.then_branch.to_string()} "
+                f"else {self.else_branch.to_string()}")
+
+
+@dataclass
+class QuantifiedExpr(Expr):
+    """``some/every $v in E satisfies C``."""
+
+    quantifier: str  # "some" | "every"
+    var: str
+    source: Expr
+    condition: Expr
+
+    def to_string(self) -> str:
+        return (f"{self.quantifier} ${self.var} in {self.source.to_string()} "
+                f"satisfies {self.condition.to_string()}")
+
+
+@dataclass
+class BinaryExpr(Expr):
+    """Logical, comparison, arithmetic and union operators."""
+
+    op: str  # "and" "or" "=" "!=" "<" "<=" ">" ">=" "+" "-" "*" "div" "mod" "|" "to"
+    left: Expr
+    right: Expr
+
+    def to_string(self) -> str:
+        return f"({self.left.to_string()} {self.op} {self.right.to_string()})"
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str  # "-" | "+"
+    operand: Expr
+
+    def to_string(self) -> str:
+        return f"{self.op}{self.operand.to_string()}"
+
+
+@dataclass
+class FunctionCall(Expr):
+    """``fn:count(...)`` etc.; names keep their prefix verbatim."""
+
+    name: str
+    args: List[Expr]
+
+    def to_string(self) -> str:
+        rendered = ", ".join(arg.to_string() for arg in self.args)
+        return f"{self.name}({rendered})"
+
+
+def iter_children(expr: Expr) -> Sequence[Expr]:
+    """Direct sub-expressions of a surface expression (for traversals)."""
+    if isinstance(expr, SequenceExpr):
+        return expr.items
+    if isinstance(expr, AxisStep):
+        return expr.predicates
+    if isinstance(expr, FilterExpr):
+        return [expr.primary, *expr.predicates]
+    if isinstance(expr, PathExpr):
+        return [expr.left, expr.right]
+    if isinstance(expr, FLWORExpr):
+        children: list[Expr] = []
+        for clause in expr.clauses:
+            if isinstance(clause, ForClause):
+                children.append(clause.source)
+            elif isinstance(clause, LetClause):
+                children.append(clause.value)
+            else:
+                children.append(clause.condition)
+        children.append(expr.return_expr)
+        return children
+    if isinstance(expr, IfExpr):
+        return [expr.condition, expr.then_branch, expr.else_branch]
+    if isinstance(expr, QuantifiedExpr):
+        return [expr.source, expr.condition]
+    if isinstance(expr, BinaryExpr):
+        return [expr.left, expr.right]
+    if isinstance(expr, UnaryExpr):
+        return [expr.operand]
+    if isinstance(expr, FunctionCall):
+        return expr.args
+    return ()

@@ -1,0 +1,170 @@
+"""Tokenizer for the XQuery fragment.
+
+XQuery has no reserved words — ``for`` is a legal element name — so the
+lexer only classifies shapes (names, variables, literals, symbols) and
+the parser decides contextually whether a name is a keyword.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class XQuerySyntaxError(ValueError):
+    """Raised on malformed query text."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+# Token types.
+NAME = "name"          # NCName or prefix:localname
+VARIABLE = "variable"  # $name
+STRING = "string"
+INTEGER = "integer"
+DECIMAL = "decimal"
+SYMBOL = "symbol"
+EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    position: int
+
+    def is_symbol(self, *values: str) -> bool:
+        return self.type == SYMBOL and self.value in values
+
+    def is_name(self, *values: str) -> bool:
+        return self.type == NAME and self.value in values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type}, {self.value!r})"
+
+
+# Multi-character symbols must come before their prefixes.
+_SYMBOLS = [
+    "//", "::", ":=", "..", "!=", "<=", ">=",
+    "/", "[", "]", "(", ")", "{", "}", ",", "@", ".", "=", "<", ">",
+    "+", "-", "*", "|", ";", "?",
+]
+
+_NAME_START_EXTRA = set("_")
+_NAME_EXTRA = set("_-.")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a query; always ends with an EOF token."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if text.startswith("(:", pos):
+            pos = _skip_comment(text, pos)
+            continue
+        if ch == "$":
+            start = pos
+            pos += 1
+            if pos >= length or not _is_name_start(text[pos]):
+                raise XQuerySyntaxError("expected a variable name after '$'", pos)
+            pos = _scan_qname(text, pos)
+            yield Token(VARIABLE, text[start + 1:pos], start)
+            continue
+        if ch in ("'", '"'):
+            start = pos
+            pos += 1
+            chunks: list[str] = []
+            while True:
+                if pos >= length:
+                    raise XQuerySyntaxError("unterminated string literal", start)
+                if text[pos] == ch:
+                    # Doubled quote is the XQuery escape for the quote char.
+                    if pos + 1 < length and text[pos + 1] == ch:
+                        chunks.append(ch)
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                chunks.append(text[pos])
+                pos += 1
+            yield Token(STRING, "".join(chunks), start)
+            continue
+        if ch.isdigit():
+            start = pos
+            while pos < length and text[pos].isdigit():
+                pos += 1
+            if pos < length and text[pos] == "." and pos + 1 < length and text[pos + 1].isdigit():
+                pos += 1
+                while pos < length and text[pos].isdigit():
+                    pos += 1
+                yield Token(DECIMAL, text[start:pos], start)
+            else:
+                yield Token(INTEGER, text[start:pos], start)
+            continue
+        if _is_name_start(ch):
+            start = pos
+            pos = _scan_qname(text, pos)
+            yield Token(NAME, text[start:pos], start)
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, pos):
+                yield Token(SYMBOL, symbol, pos)
+                pos += len(symbol)
+                break
+        else:
+            raise XQuerySyntaxError(f"unexpected character {ch!r}", pos)
+    yield Token(EOF, "", length)
+
+
+def _scan_qname(text: str, pos: int) -> int:
+    """Scan an NCName, optionally followed by ``:NCName`` (a QName)."""
+    length = len(text)
+    pos += 1
+    while pos < length and _is_name_char(text[pos]):
+        pos += 1
+    # A single colon followed by a name-start char extends to a QName,
+    # but '::' is the axis separator and must not be consumed.
+    if (pos < length and text[pos] == ":"
+            and not text.startswith("::", pos)
+            and pos + 1 < length and _is_name_start(text[pos + 1])):
+        pos += 2
+        while pos < length and _is_name_char(text[pos]):
+            pos += 1
+    return pos
+
+
+def _skip_comment(text: str, pos: int) -> int:
+    """Skip a possibly nested ``(: ... :)`` comment."""
+    start = pos
+    depth = 0
+    length = len(text)
+    while pos < length:
+        if text.startswith("(:", pos):
+            depth += 1
+            pos += 2
+        elif text.startswith(":)", pos):
+            depth -= 1
+            pos += 2
+            if depth == 0:
+                return pos
+        else:
+            pos += 1
+    raise XQuerySyntaxError("unterminated comment", start)

@@ -1,0 +1,419 @@
+"""Recursive-descent parser for the XQuery fragment.
+
+Covers the productions the paper's pipeline handles: path expressions
+with all supported axes, abbreviations (``//``, ``@``, ``..``, ``.``),
+predicates, FLWOR with multiple ``for``/``let`` clauses and positional
+``at`` variables, conditionals, quantifiers, general comparisons,
+boolean/arithmetic/union operators, literals, and function calls.
+
+XQuery keywords are not reserved, so keyword-ness is decided from
+context (``for`` starts a FLWOR only when followed by ``$``; ``and`` is
+an operator only in operator position; a bare name in step position is a
+child-axis name test).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..xmltree.axes import Axis
+from ..xmltree.nodetest import (AnyKindTest, ElementTest, NameTest, NodeTest,
+                                TextTest, WildcardTest)
+from . import ast
+from .lexer import (DECIMAL, EOF, INTEGER, NAME, STRING, SYMBOL, VARIABLE,
+                    Token, XQuerySyntaxError, tokenize)
+
+_AXIS_ALIASES = {
+    "desc": Axis.DESCENDANT,
+    "dos": Axis.DESCENDANT_OR_SELF,
+}
+_AXIS_NAMES = {axis.value for axis in Axis} | set(_AXIS_ALIASES)
+_KIND_TESTS = {"node", "text", "element"}
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _TokenCursor:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type != EOF:
+            self.index += 1
+        return token
+
+    def expect_symbol(self, value: str) -> Token:
+        token = self.current
+        if not token.is_symbol(value):
+            raise XQuerySyntaxError(
+                f"expected {value!r}, found {token.value!r}", token.position)
+        return self.advance()
+
+    def expect_name(self, value: str) -> Token:
+        token = self.current
+        if not token.is_name(value):
+            raise XQuerySyntaxError(
+                f"expected keyword {value!r}, found {token.value!r}", token.position)
+        return self.advance()
+
+    def expect_variable(self) -> str:
+        token = self.current
+        if token.type != VARIABLE:
+            raise XQuerySyntaxError(
+                f"expected a variable, found {token.value!r}", token.position)
+        self.advance()
+        return token.value
+
+
+def parse_query(text: str) -> ast.Expr:
+    """Parse a query string into a surface AST."""
+    cursor = _TokenCursor(tokenize(text))
+    expr = _parse_expr(cursor)
+    token = cursor.current
+    if token.type != EOF:
+        raise XQuerySyntaxError(
+            f"unexpected trailing input {token.value!r}", token.position)
+    return expr
+
+
+# -- expression levels ------------------------------------------------------
+
+def _parse_expr(cursor: _TokenCursor) -> ast.Expr:
+    first = _parse_expr_single(cursor)
+    if not cursor.current.is_symbol(","):
+        return first
+    items = [first]
+    while cursor.current.is_symbol(","):
+        cursor.advance()
+        items.append(_parse_expr_single(cursor))
+    return ast.SequenceExpr(items)
+
+
+def _parse_expr_single(cursor: _TokenCursor) -> ast.Expr:
+    token = cursor.current
+    if token.type == NAME:
+        if token.value in ("for", "let") and cursor.peek().type == VARIABLE:
+            return _parse_flwor(cursor)
+        if token.value in ("some", "every") and cursor.peek().type == VARIABLE:
+            return _parse_quantified(cursor)
+        if token.value == "if" and cursor.peek().is_symbol("("):
+            return _parse_if(cursor)
+    return _parse_or(cursor)
+
+
+def _parse_flwor(cursor: _TokenCursor) -> ast.Expr:
+    clauses: list[ast.Clause] = []
+    while True:
+        token = cursor.current
+        if token.is_name("for") and cursor.peek().type == VARIABLE:
+            cursor.advance()
+            while True:
+                var = cursor.expect_variable()
+                position_var: Optional[str] = None
+                if cursor.current.is_name("at"):
+                    cursor.advance()
+                    position_var = cursor.expect_variable()
+                cursor.expect_name("in")
+                source = _parse_expr_single(cursor)
+                clauses.append(ast.ForClause(var, position_var, source))
+                if cursor.current.is_symbol(",") and cursor.peek().type == VARIABLE:
+                    cursor.advance()
+                    continue
+                break
+        elif token.is_name("let") and cursor.peek().type == VARIABLE:
+            cursor.advance()
+            while True:
+                var = cursor.expect_variable()
+                cursor.expect_symbol(":=")
+                value = _parse_expr_single(cursor)
+                clauses.append(ast.LetClause(var, value))
+                if cursor.current.is_symbol(",") and cursor.peek().type == VARIABLE:
+                    cursor.advance()
+                    continue
+                break
+        elif token.is_name("where"):
+            cursor.advance()
+            clauses.append(ast.WhereClause(_parse_expr_single(cursor)))
+        elif token.is_name("return"):
+            cursor.advance()
+            return ast.FLWORExpr(clauses, _parse_expr_single(cursor))
+        else:
+            raise XQuerySyntaxError(
+                f"expected a FLWOR clause or 'return', found {token.value!r}",
+                token.position)
+
+
+def _parse_quantified(cursor: _TokenCursor) -> ast.Expr:
+    quantifier = cursor.advance().value
+    var = cursor.expect_variable()
+    cursor.expect_name("in")
+    source = _parse_expr_single(cursor)
+    cursor.expect_name("satisfies")
+    condition = _parse_expr_single(cursor)
+    return ast.QuantifiedExpr(quantifier, var, source, condition)
+
+
+def _parse_if(cursor: _TokenCursor) -> ast.Expr:
+    cursor.expect_name("if")
+    cursor.expect_symbol("(")
+    condition = _parse_expr(cursor)
+    cursor.expect_symbol(")")
+    cursor.expect_name("then")
+    then_branch = _parse_expr_single(cursor)
+    cursor.expect_name("else")
+    else_branch = _parse_expr_single(cursor)
+    return ast.IfExpr(condition, then_branch, else_branch)
+
+
+def _parse_or(cursor: _TokenCursor) -> ast.Expr:
+    left = _parse_and(cursor)
+    while cursor.current.is_name("or"):
+        cursor.advance()
+        left = ast.BinaryExpr("or", left, _parse_and(cursor))
+    return left
+
+
+def _parse_and(cursor: _TokenCursor) -> ast.Expr:
+    left = _parse_comparison(cursor)
+    while cursor.current.is_name("and"):
+        cursor.advance()
+        left = ast.BinaryExpr("and", left, _parse_comparison(cursor))
+    return left
+
+
+def _parse_comparison(cursor: _TokenCursor) -> ast.Expr:
+    left = _parse_range(cursor)
+    token = cursor.current
+    if token.type == SYMBOL and token.value in _COMPARISON_OPS:
+        cursor.advance()
+        return ast.BinaryExpr(token.value, left, _parse_range(cursor))
+    return left
+
+
+def _parse_range(cursor: _TokenCursor) -> ast.Expr:
+    left = _parse_additive(cursor)
+    if cursor.current.is_name("to"):
+        cursor.advance()
+        return ast.BinaryExpr("to", left, _parse_additive(cursor))
+    return left
+
+
+def _parse_additive(cursor: _TokenCursor) -> ast.Expr:
+    left = _parse_multiplicative(cursor)
+    while cursor.current.is_symbol("+", "-"):
+        op = cursor.advance().value
+        left = ast.BinaryExpr(op, left, _parse_multiplicative(cursor))
+    return left
+
+
+def _parse_multiplicative(cursor: _TokenCursor) -> ast.Expr:
+    left = _parse_union(cursor)
+    while True:
+        token = cursor.current
+        if token.is_symbol("*") or token.is_name("div") or token.is_name("mod"):
+            cursor.advance()
+            op = "*" if token.value == "*" else token.value
+            left = ast.BinaryExpr(op, left, _parse_union(cursor))
+        else:
+            return left
+
+
+def _parse_union(cursor: _TokenCursor) -> ast.Expr:
+    left = _parse_unary(cursor)
+    while cursor.current.is_symbol("|") or cursor.current.is_name("union"):
+        cursor.advance()
+        left = ast.BinaryExpr("|", left, _parse_unary(cursor))
+    return left
+
+
+def _parse_unary(cursor: _TokenCursor) -> ast.Expr:
+    if cursor.current.is_symbol("-", "+"):
+        op = cursor.advance().value
+        return ast.UnaryExpr(op, _parse_unary(cursor))
+    return _parse_path(cursor)
+
+
+# -- paths -------------------------------------------------------------------
+
+def _parse_path(cursor: _TokenCursor) -> ast.Expr:
+    token = cursor.current
+    if token.is_symbol("/"):
+        cursor.advance()
+        root: ast.Expr = ast.RootExpr()
+        if _starts_step(cursor):
+            return _parse_relative_path(cursor, root)
+        return root
+    if token.is_symbol("//"):
+        cursor.advance()
+        root = ast.PathExpr(
+            ast.RootExpr(),
+            ast.AxisStep(Axis.DESCENDANT_OR_SELF, AnyKindTest()))
+        return _parse_relative_path(cursor, root)
+    first = _parse_step(cursor)
+    return _parse_relative_path_continuation(cursor, first)
+
+
+def _parse_relative_path(cursor: _TokenCursor, left: ast.Expr) -> ast.Expr:
+    step = _parse_step(cursor)
+    return _parse_relative_path_continuation(cursor, ast.PathExpr(left, step))
+
+
+def _parse_relative_path_continuation(cursor: _TokenCursor, left: ast.Expr) -> ast.Expr:
+    while True:
+        token = cursor.current
+        if token.is_symbol("/"):
+            cursor.advance()
+            left = ast.PathExpr(left, _parse_step(cursor))
+        elif token.is_symbol("//"):
+            cursor.advance()
+            left = ast.PathExpr(
+                left, ast.AxisStep(Axis.DESCENDANT_OR_SELF, AnyKindTest()))
+            left = ast.PathExpr(left, _parse_step(cursor))
+        else:
+            return left
+
+
+def _starts_step(cursor: _TokenCursor) -> bool:
+    token = cursor.current
+    if token.type in (NAME, VARIABLE, STRING, INTEGER, DECIMAL):
+        return True
+    return token.is_symbol("@", "..", ".", "*", "(")
+
+
+def _parse_step(cursor: _TokenCursor) -> ast.Expr:
+    token = cursor.current
+    if token.is_symbol(".."):
+        cursor.advance()
+        return _with_predicates(
+            cursor, ast.AxisStep(Axis.PARENT, AnyKindTest()), axis_step=True)
+    if token.is_symbol("@"):
+        cursor.advance()
+        test = _parse_node_test(cursor, Axis.ATTRIBUTE)
+        return _with_predicates(
+            cursor, ast.AxisStep(Axis.ATTRIBUTE, test), axis_step=True)
+    if token.is_symbol("*"):
+        cursor.advance()
+        return _with_predicates(
+            cursor, ast.AxisStep(Axis.CHILD, WildcardTest()), axis_step=True)
+    if token.type == NAME:
+        if token.value in _AXIS_NAMES and cursor.peek().is_symbol("::"):
+            cursor.advance()
+            cursor.advance()
+            axis = _resolve_axis(token.value, token.position)
+            test = _parse_node_test(cursor, axis)
+            return _with_predicates(
+                cursor, ast.AxisStep(axis, test), axis_step=True)
+        if token.value in _KIND_TESTS and cursor.peek().is_symbol("("):
+            test = _parse_node_test(cursor, Axis.CHILD)
+            return _with_predicates(
+                cursor, ast.AxisStep(Axis.CHILD, test), axis_step=True)
+        if cursor.peek().is_symbol("("):
+            return _with_predicates(cursor, _parse_function_call(cursor),
+                                    axis_step=False)
+        cursor.advance()
+        return _with_predicates(
+            cursor, ast.AxisStep(Axis.CHILD, NameTest(token.value)),
+            axis_step=True)
+    return _with_predicates(cursor, _parse_primary(cursor), axis_step=False)
+
+
+def _resolve_axis(name: str, position: int) -> Axis:
+    if name in _AXIS_ALIASES:
+        return _AXIS_ALIASES[name]
+    try:
+        return Axis(name)
+    except ValueError as error:
+        raise XQuerySyntaxError(f"unknown axis {name!r}", position) from error
+
+
+def _parse_node_test(cursor: _TokenCursor, axis: Axis) -> NodeTest:
+    token = cursor.current
+    if token.is_symbol("*"):
+        cursor.advance()
+        return WildcardTest()
+    if token.type != NAME:
+        raise XQuerySyntaxError(
+            f"expected a node test, found {token.value!r}", token.position)
+    if token.value in _KIND_TESTS and cursor.peek().is_symbol("("):
+        kind = cursor.advance().value
+        cursor.expect_symbol("(")
+        name: Optional[str] = None
+        if kind == "element" and cursor.current.type == NAME:
+            name = cursor.advance().value
+        cursor.expect_symbol(")")
+        if kind == "node":
+            return AnyKindTest()
+        if kind == "text":
+            return TextTest()
+        return ElementTest(name)
+    cursor.advance()
+    return NameTest(token.value)
+
+
+def _with_predicates(cursor: _TokenCursor, expr: ast.Expr, axis_step: bool) -> ast.Expr:
+    predicates: list[ast.Expr] = []
+    while cursor.current.is_symbol("["):
+        cursor.advance()
+        predicates.append(_parse_expr(cursor))
+        cursor.expect_symbol("]")
+    if not predicates:
+        return expr
+    if axis_step and isinstance(expr, ast.AxisStep):
+        expr.predicates.extend(predicates)
+        return expr
+    return ast.FilterExpr(expr, predicates)
+
+
+# -- primaries ----------------------------------------------------------------
+
+def _parse_primary(cursor: _TokenCursor) -> ast.Expr:
+    token = cursor.current
+    if token.type == VARIABLE:
+        cursor.advance()
+        return ast.VarRef(token.value)
+    if token.type == STRING:
+        cursor.advance()
+        return ast.Literal(token.value)
+    if token.type == INTEGER:
+        cursor.advance()
+        return ast.Literal(int(token.value))
+    if token.type == DECIMAL:
+        cursor.advance()
+        return ast.Literal(float(token.value))
+    if token.is_symbol("."):
+        cursor.advance()
+        return ast.ContextItem()
+    if token.is_symbol("("):
+        cursor.advance()
+        if cursor.current.is_symbol(")"):
+            cursor.advance()
+            return ast.SequenceExpr([])
+        inner = _parse_expr(cursor)
+        cursor.expect_symbol(")")
+        return inner
+    if token.type == NAME and cursor.peek().is_symbol("("):
+        return _parse_function_call(cursor)
+    raise XQuerySyntaxError(
+        f"unexpected token {token.value!r}", token.position)
+
+
+def _parse_function_call(cursor: _TokenCursor) -> ast.Expr:
+    name = cursor.advance().value
+    cursor.expect_symbol("(")
+    args: list[ast.Expr] = []
+    if not cursor.current.is_symbol(")"):
+        args.append(_parse_expr_single(cursor))
+        while cursor.current.is_symbol(","):
+            cursor.advance()
+            args.append(_parse_expr_single(cursor))
+    cursor.expect_symbol(")")
+    return ast.FunctionCall(name, args)

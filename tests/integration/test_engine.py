@@ -1,0 +1,208 @@
+"""End-to-end engine behaviour."""
+
+import pytest
+
+from repro import Engine, Strategy, execute_query
+from repro.algebra import DynamicError
+
+from ..conftest import PEOPLE_XML, pres, string_values
+
+
+class TestBasicQueries:
+    def test_path_query(self, people_engine):
+        result = people_engine.run("$input//person[emailaddress]/name")
+        assert string_values(result) == ["John", "John", "Ada"]
+
+    def test_absolute_path(self, people_engine):
+        result = people_engine.run("/site/people/person/name")
+        assert len(result) == 4
+
+    def test_value_predicate(self, people_engine):
+        result = people_engine.run('$input//person[name = "Mary"]/@id')
+        assert string_values(result) == ["p2"]
+
+    def test_positional_predicate(self, people_engine):
+        result = people_engine.run("$input//person[2]/name")
+        assert string_values(result) == ["Mary"]
+
+    def test_positional_last(self, people_engine):
+        result = people_engine.run(
+            "$input//person[position() = last()]/name")
+        assert string_values(result) == ["Ada"]
+
+    def test_flwor(self, people_engine):
+        result = people_engine.run(
+            "for $p in $input//person where $p/emailaddress "
+            "return $p/name")
+        assert string_values(result) == ["John", "John", "Ada"]
+
+    def test_let(self, people_engine):
+        result = people_engine.run(
+            "let $ps := $input//person return count($ps)")
+        assert result == [4]
+
+    def test_count_aggregation(self, people_engine):
+        assert people_engine.run("count($input//interest)") == [3]
+
+    def test_quantifier(self, people_engine):
+        result = people_engine.run(
+            "for $p in $input//person "
+            "where some $i in $p/profile/interest "
+            "satisfies $i/@category = 'art' return $p/@id")
+        assert string_values(result) == ["p1"]
+
+    def test_if_expression(self, people_engine):
+        result = people_engine.run(
+            "if (count($input//person) > 3) then 'many' else 'few'")
+        assert result == ["many"]
+
+    def test_arithmetic(self, people_engine):
+        assert people_engine.run("1 + 2 * 3") == [7]
+
+    def test_range(self, people_engine):
+        assert people_engine.run("1 to 4") == [1, 2, 3, 4]
+
+    def test_union(self, people_engine):
+        result = people_engine.run("$input//name | $input//emailaddress")
+        assert pres(result) == sorted(pres(result))
+        assert len(result) == 7
+
+    def test_attribute_axis(self, people_engine):
+        result = people_engine.run("$input//interest/@category")
+        assert string_values(result) == ["art", "music", "music"]
+
+    def test_parent_axis(self, people_engine):
+        result = people_engine.run("$input//emailaddress/../name")
+        assert string_values(result) == ["John", "John", "Ada"]
+
+    def test_empty_result(self, people_engine):
+        assert people_engine.run("$input//unicorn") == []
+
+    def test_context_item_in_predicate(self, people_engine):
+        result = people_engine.run('$input//name[. = "Ada"]')
+        assert string_values(result) == ["Ada"]
+
+
+class TestStrategies:
+    QUERIES = [
+        "$input//person[emailaddress]/name",
+        "$input//person[1]/name",
+        "/site/people/person/profile/interest",
+        "for $p in $input//person return $p/name",
+        '$input//person[name = "John"]/emailaddress',
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("strategy", ["nljoin", "twigjoin", "scjoin",
+                                          "auto"])
+    def test_all_strategies_agree(self, people_engine, query, strategy):
+        reference = pres(people_engine.run(query, optimize=False))
+        assert pres(people_engine.run(query, strategy=strategy)) == reference
+
+    def test_default_strategy_configurable(self, people_doc):
+        engine = Engine(people_doc, default_strategy=Strategy.TWIG_JOIN)
+        result = engine.run("$input//person/name")
+        assert len(result) == 4
+
+
+class TestVariables:
+    def test_explicit_binding(self, people_engine, people_doc):
+        person = people_doc.stream("person")[1]
+        result = people_engine.run("$p/name", variables={"p": [person]})
+        assert string_values(result) == ["Mary"]
+
+    def test_multiple_free_variables_default_to_root(self, people_engine):
+        result = people_engine.run("count($a//person) = count($b//person)")
+        assert result == [True]
+
+    def test_unknown_variable_defaults_to_document(self, people_engine):
+        assert len(people_engine.run("$whatever//person")) == 4
+
+
+class TestCompiledQueries:
+    def test_stages_exposed(self, people_engine):
+        compiled = people_engine.compile("$input//person[emailaddress]/name")
+        assert compiled.core is not None
+        assert compiled.tpnf is not None
+        assert compiled.plan is not None
+        assert compiled.optimized is not None
+        assert compiled.tree_pattern_count() == 1
+        (pattern,) = compiled.tree_patterns()
+        assert "person" in pattern.to_string()
+
+    def test_explain_contains_stages(self, people_engine):
+        report = people_engine.compile(
+            "$input//person[emailaddress]/name").explain()
+        assert "Normalized core" in report
+        assert "TPNF'" in report
+        assert "TupleTreePattern" in report
+
+    def test_reuse_compiled_query(self, people_engine):
+        compiled = people_engine.compile("$input//person/name")
+        first = people_engine.execute(compiled)
+        second = people_engine.execute(compiled, strategy="twigjoin")
+        assert pres(first) == pres(second)
+
+    def test_unoptimized_execution(self, people_engine):
+        compiled = people_engine.compile("$input//person/name")
+        result = people_engine.execute(compiled, optimized=False)
+        assert len(result) == 4
+
+    def test_rewrite_trace_disabled_by_default(self, people_engine):
+        compiled = people_engine.compile("$input//person/name")
+        assert compiled.rewrite_trace is None
+
+    def test_rewrite_trace_records_passes(self, people_engine):
+        compiled = people_engine.compile(
+            "$input//person[emailaddress]/name", trace=True)
+        names = [name for name, _ in compiled.rewrite_trace.steps]
+        assert "typeswitch" in names
+        assert "flwor" in names
+        assert "docorder" in names
+        # every snapshot is a valid core expression
+        from repro.xqcore import pretty
+        for _, snapshot in compiled.rewrite_trace.steps:
+            assert pretty(snapshot)
+
+    def test_rewrite_trace_loop_split_when_applicable(self, people_engine):
+        compiled = people_engine.compile(
+            "for $x in $input//site return "
+            "(for $y in $x/people return $y/person)", trace=True)
+        names = [name for name, _ in compiled.rewrite_trace.steps]
+        assert "loop-split" in names
+
+
+class TestDocumentOrderSemantics:
+    def test_path_returns_document_order(self, mixed_engine):
+        result = mixed_engine.run("$input//person/name")
+        assert string_values(result) == ["outer", "inner", "outer2"]
+
+    def test_flwor_returns_grouped_order(self, mixed_engine):
+        result = mixed_engine.run(
+            "for $p in $input//person return $p/name")
+        assert string_values(result) == ["outer", "outer2", "inner"]
+
+    @pytest.mark.parametrize("strategy", ["nljoin", "twigjoin", "scjoin"])
+    def test_order_semantics_per_strategy(self, mixed_engine, strategy):
+        path = mixed_engine.run("$input//person/name", strategy=strategy)
+        flwor = mixed_engine.run(
+            "for $p in $input//person return $p/name", strategy=strategy)
+        assert string_values(path) == ["outer", "inner", "outer2"]
+        assert string_values(flwor) == ["outer", "outer2", "inner"]
+
+
+class TestConvenience:
+    def test_execute_query(self):
+        result = execute_query(PEOPLE_XML, "count($input//person)")
+        assert result == [4]
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(PEOPLE_XML, encoding="utf-8")
+        engine = Engine.from_file(str(path))
+        assert engine.run("count($input//person)") == [4]
+
+    def test_parse_error_propagates(self, people_engine):
+        from repro.xquery import XQuerySyntaxError
+        with pytest.raises(XQuerySyntaxError):
+            people_engine.run("$input//(")

@@ -1,0 +1,91 @@
+"""Cross-checks on generated documents: every strategy and the
+unoptimized reference engine must agree on a broad query suite."""
+
+import pytest
+
+from repro import Engine
+from repro.bench import QE_QUERIES
+from repro.data import XMARK_CHILD_DESCENDANT_PAIRS
+
+from ..conftest import pres
+
+XMARK_QUERIES = [
+    "$input//person/name",
+    "$input//person[emailaddress]",
+    "$input/site/people/person[profile]/name",
+    "$input//open_auction/bidder/increase",
+    "$input//item[payment][incategory]/name",
+    "$input//person[profile/age]/name",
+    '$input//category[name = "art"]',
+    "$input//person[2]/name",
+    "count($input//bidder)",
+    "for $p in $input//person where $p/profile return $p/name",
+    "for $a in $input//open_auction return count($a/bidder)",
+    "$input//mail/from",
+    "$input//*[@id]/name",
+]
+
+
+@pytest.fixture(scope="module")
+def member_engine(small_member_doc):
+    return Engine(small_member_doc)
+
+
+@pytest.fixture(scope="module")
+def xmark_engine(small_xmark_doc):
+    return Engine(small_xmark_doc)
+
+
+def check(engine, query):
+    reference = engine.run(query, optimize=False)
+    reference_keys = pres(reference) if reference and hasattr(
+        reference[0], "pre") else reference
+    for strategy in ("nljoin", "twigjoin", "scjoin", "auto"):
+        result = engine.run(query, strategy=strategy)
+        keys = pres(result) if result and hasattr(result[0], "pre") \
+            else result
+        assert keys == reference_keys, (query, strategy)
+    return reference_keys
+
+
+class TestXMarkSuite:
+    @pytest.mark.parametrize("query", XMARK_QUERIES)
+    def test_strategies_agree(self, xmark_engine, query):
+        check(xmark_engine, query)
+
+    @pytest.mark.parametrize(
+        "name,child_form,descendant_form", XMARK_CHILD_DESCENDANT_PAIRS,
+        ids=[pair[0] for pair in XMARK_CHILD_DESCENDANT_PAIRS])
+    def test_figure6_pairs(self, xmark_engine, name, child_form,
+                           descendant_form):
+        child_keys = check(xmark_engine, child_form)
+        descendant_keys = check(xmark_engine, descendant_form)
+        assert child_keys == descendant_keys
+        assert child_keys
+
+
+class TestQESuite:
+    @pytest.mark.parametrize("name,query", sorted(QE_QUERIES.items()),
+                             ids=sorted(QE_QUERIES))
+    def test_strategies_agree_on_member_doc(self, member_engine, name,
+                                            query):
+        check(member_engine, query)
+
+    def test_qe_queries_match_on_dense_doc(self, member_engine):
+        """With few tags the QE patterns actually select something."""
+        total = 0
+        for query in QE_QUERIES.values():
+            total += len(member_engine.run(query))
+        assert total > 0
+
+
+class TestDeepDocument:
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_selective_chains(self, k):
+        from repro.data import deep_member_document
+        engine = Engine(deep_member_document(400, 8))
+        query = "/" + "/".join(["t1[1]"] * k)
+        reference = pres(engine.run(query, optimize=False))
+        assert len(reference) == 1
+        for strategy in ("nljoin", "twigjoin", "scjoin"):
+            assert pres(engine.run(query, strategy=strategy)) == reference

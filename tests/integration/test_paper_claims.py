@@ -1,0 +1,147 @@
+"""The paper's headline claims, as integration tests.
+
+* Figure 1's classification of queries into single / multiple tree
+  patterns;
+* Section 5.1: twenty syntactic variants all compile to the identical
+  single-TupleTreePattern plan (and agree with the unoptimized engine);
+* Section 2's Q1a-n normalization and P5 optimization artifacts.
+"""
+
+import pytest
+
+from repro import Engine
+from repro.algebra import DDOPlan, Select, walk_plan
+from repro.bench import BASE_QUERY, generate_variants
+from repro.data import xmark_document
+
+from ..conftest import pres
+
+
+@pytest.fixture(scope="module")
+def xmark_engine():
+    return Engine(xmark_document(60, seed=20))
+
+
+class TestFigure1Classification:
+    """How many TupleTreePattern operators each Figure 1 query needs."""
+
+    def counts(self, engine, query):
+        compiled = engine.compile(query)
+        return compiled.tree_pattern_count()
+
+    def test_q1a_single_pattern(self, people_engine):
+        assert self.counts(
+            people_engine, "$d//person[emailaddress]/name") == 1
+
+    def test_q1b_single_pattern(self, people_engine):
+        assert self.counts(
+            people_engine,
+            "(for $x in $d//person[emailaddress] return $x)/name") == 1
+
+    def test_q1c_single_pattern(self, people_engine):
+        assert self.counts(
+            people_engine,
+            "let $x := (for $y in $d//person where $y/emailaddress "
+            "return $y) return $x/name") == 1
+
+    def test_q2_multiple_patterns_with_selection(self, people_engine):
+        compiled = people_engine.compile(
+            '$d//person[name = "John"]/emailaddress')
+        assert compiled.tree_pattern_count() >= 2
+        assert any(isinstance(node, Select)
+                   for node in walk_plan(compiled.optimized))
+
+    def test_q3_positional_treatment(self, people_engine):
+        compiled = people_engine.compile("$d//person[1]/name")
+        assert compiled.tree_pattern_count() >= 1
+        assert any(isinstance(node, Select)
+                   for node in walk_plan(compiled.optimized))
+
+    def test_q4_positional_treatment(self, people_engine):
+        compiled = people_engine.compile(
+            '$d//person[name = "John"]/emailaddress[1]')
+        assert compiled.tree_pattern_count() >= 2
+
+    def test_q5_two_patterns_via_map(self, people_engine):
+        compiled = people_engine.compile(
+            "for $x in $d//person[emailaddress] return $x/name")
+        assert compiled.tree_pattern_count() == 2
+
+    def test_q1_and_q5_plans_differ(self, people_engine):
+        q1 = people_engine.compile(
+            "$d//person[emailaddress]/name").canonical_plan()
+        q5 = people_engine.compile(
+            "for $x in $d//person[emailaddress] return $x/name"
+        ).canonical_plan()
+        assert q1 != q5
+
+
+class TestSection51Variants:
+    def test_twenty_variants(self):
+        variants = generate_variants()
+        assert len(variants) == 20
+        assert variants[0] == BASE_QUERY
+        assert len(set(variants)) == 20
+
+    def test_all_variants_single_identical_plan(self, xmark_engine):
+        plans = set()
+        for variant in generate_variants():
+            compiled = xmark_engine.compile(variant)
+            assert compiled.tree_pattern_count() == 1, variant
+            plans.add(compiled.canonical_plan())
+        assert len(plans) == 1
+
+    def test_all_variants_same_results(self, xmark_engine):
+        reference = None
+        for variant in generate_variants():
+            result = pres(xmark_engine.run(variant))
+            if reference is None:
+                reference = result
+                assert reference, "base query returned nothing"
+            assert result == reference, variant
+
+    def test_variants_match_unoptimized_semantics(self, xmark_engine):
+        for variant in generate_variants()[:6]:
+            optimized = pres(xmark_engine.run(variant))
+            unoptimized = pres(xmark_engine.run(variant, optimize=False))
+            assert optimized == unoptimized, variant
+
+    def test_without_rewrites_plans_differ(self):
+        """The paper: 'on the old engine the generated plans were
+        dependent on the syntactic form of the query'."""
+        from repro.rewrite import RewriteOptions
+        from repro.algebra.optimizer import OptimizerOptions
+        engine = Engine(xmark_document(30, seed=21),
+                        rewrite_options=RewriteOptions.none(),
+                        optimizer_options=OptimizerOptions(
+                            enable_tree_patterns=False))
+        plans = {engine.compile(variant).canonical_plan()
+                 for variant in generate_variants()}
+        assert len(plans) > 1
+
+
+class TestSection2Artifacts:
+    def test_q1a_normalized_core_shape(self, people_engine):
+        from repro.xqcore import pretty
+        compiled = people_engine.compile("$d//person[emailaddress]/name")
+        text = pretty(compiled.core)
+        # the recognizable pieces of Q1a-n
+        assert "ddo(" in text
+        assert "fn:count($seq" in text
+        assert "typeswitch" in text
+
+    def test_q1a_tpnf_shape(self, people_engine):
+        from repro.xqcore import pretty
+        compiled = people_engine.compile("$d//person[emailaddress]/name")
+        text = pretty(compiled.tpnf)
+        assert "typeswitch" not in text
+        assert "fn:count" not in text
+
+    def test_p5_shape(self, people_engine):
+        compiled = people_engine.compile("$d//person[emailaddress]/name")
+        plan = compiled.optimized
+        assert not any(isinstance(node, DDOPlan)
+                       for node in walk_plan(plan))
+        (pattern,) = compiled.tree_patterns()
+        assert pattern.to_string().endswith(
+            "descendant::person[child::emailaddress]/child::name{out}")

@@ -1,0 +1,92 @@
+"""Property: NLJoin, TwigJoin and SCJoin agree on random patterns
+against random documents (NLJoin is the executable specification)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data import member_document
+from repro.pattern import PatternPath, PatternStep, TreePattern
+from repro.physical import (NLJoin, StackTreeJoin, StaircaseJoin,
+                            StreamingXPath, TwigJoin)
+from repro.xmltree.axes import Axis
+from repro.xmltree.nodetest import NameTest, WildcardTest
+
+NL, TJ, SC = NLJoin(), TwigJoin(), StaircaseJoin()
+STREAM = StreamingXPath()
+STACK = StackTreeJoin()
+
+_DOCS = {seed: member_document(250, depth=5, tag_count=3, seed=seed)
+         for seed in range(4)}
+
+_AXES = [Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF]
+
+
+@st.composite
+def pattern_paths(draw, depth=0):
+    steps = []
+    step_count = draw(st.integers(min_value=1, max_value=3))
+    for position in range(step_count):
+        axis = draw(st.sampled_from(_AXES))
+        if draw(st.booleans()):
+            test = NameTest(draw(st.sampled_from(["t01", "t02", "t03"])))
+        else:
+            test = WildcardTest()
+        predicates = ()
+        if depth < 1 and draw(st.integers(0, 3)) == 0:
+            branch = draw(pattern_paths(depth=depth + 1))
+            predicates = (branch.strip_outputs(),)
+        output = "o" if position == step_count - 1 else None
+        steps.append(PatternStep(axis=axis, test=test,
+                                 predicates=predicates,
+                                 output_field=output))
+    return PatternPath(tuple(steps))
+
+
+@st.composite
+def single_output_patterns(draw):
+    path = draw(pattern_paths())
+    # strip outputs inside predicates, keep the extraction point
+    return TreePattern("dot", path.strip_outputs()).path.replace_last(
+        draw(st.just(path.last)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.sampled_from(list(_DOCS)), pattern_paths(),
+       st.integers(min_value=0, max_value=200))
+def test_match_single_agreement(seed, path, context_pick):
+    doc = _DOCS[seed]
+    elements = doc.all_elements()
+    context = elements[context_pick % len(elements)]
+    expected = NL.match_single(doc, [context], path)
+    assert TJ.match_single(doc, [context], path) == expected
+    assert SC.match_single(doc, [context], path) == expected
+    assert STREAM.match_single(doc, [context], path) == expected
+    assert STACK.match_single(doc, [context], path) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sampled_from(list(_DOCS)), pattern_paths(),
+       st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                max_size=5))
+def test_match_single_multi_context_agreement(seed, path, picks):
+    doc = _DOCS[seed]
+    elements = doc.all_elements()
+    contexts = sorted({elements[p % len(elements)] for p in picks},
+                      key=lambda node: node.pre)
+    expected = NL.match_single(doc, contexts, path)
+    assert TJ.match_single(doc, contexts, path) == expected
+    assert SC.match_single(doc, contexts, path) == expected
+    assert STREAM.match_single(doc, contexts, path) == expected
+    assert STACK.match_single(doc, contexts, path) == expected
+    # results are always distinct-doc-ordered
+    pres = [node.pre for node in expected]
+    assert pres == sorted(set(pres))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sampled_from(list(_DOCS)), pattern_paths())
+def test_enumerate_bindings_agreement(seed, path):
+    doc = _DOCS[seed]
+    expected = NL.enumerate_bindings(doc, doc.root, path)
+    twig = TJ.enumerate_bindings(doc, doc.root, path)
+    assert [sorted((k, v.pre) for k, v in b.items()) for b in twig] == \
+        [sorted((k, v.pre) for k, v in b.items()) for b in expected]

@@ -1,0 +1,119 @@
+"""Property: the full compilation pipeline preserves query semantics.
+
+Random queries from the tree-pattern-adjacent fragment are run through
+the optimizing pipeline (under every physical strategy) and compared to
+the unoptimized reference evaluation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Engine
+from repro.algebra.optimizer import OptimizerOptions
+from repro.data import member_document
+
+_ENGINES = {seed: Engine(member_document(180, depth=5, tag_count=3,
+                                         seed=seed + 100))
+            for seed in range(3)}
+
+#: the same documents under the Section 7 extension options — every
+#: random query must behave identically with the extensions enabled.
+_EXTENDED = {seed: Engine(engine.document,
+                          optimizer_options=OptimizerOptions(
+                              enable_positional=True,
+                              enable_multi_output=True))
+             for seed, engine in _ENGINES.items()}
+
+_TAGS = ["t01", "t02", "t03"]
+_AXES = ["/", "//"]
+
+
+@st.composite
+def path_queries(draw):
+    """Random path/FLWOR queries over the 3-tag documents."""
+    parts = ["$input"]
+    step_count = draw(st.integers(min_value=1, max_value=4))
+    for _ in range(step_count):
+        axis = draw(st.sampled_from(_AXES))
+        tag = draw(st.sampled_from(_TAGS))
+        predicate = ""
+        choice = draw(st.integers(0, 4))
+        if choice == 0:
+            predicate = f"[{draw(st.sampled_from(_TAGS))}]"
+        elif choice == 1:
+            predicate = f"[{draw(st.integers(1, 3))}]"
+        elif choice == 2:
+            inner = draw(st.sampled_from(_TAGS))
+            predicate = f"[.//{inner}]"
+        parts.append(f"{axis}{tag}{predicate}")
+    return "".join(parts)
+
+
+@st.composite
+def flwor_queries(draw):
+    base = draw(path_queries())
+    style = draw(st.integers(0, 2))
+    if style == 0:
+        return base
+    if style == 1:
+        tag = draw(st.sampled_from(_TAGS))
+        return f"for $x in {base} return $x/{tag}"
+    tag = draw(st.sampled_from(_TAGS))
+    return (f"for $x in {base} where $x/{tag} return $x")
+
+
+def reference_keys(engine, query):
+    result = engine.run(query, optimize=False)
+    return [getattr(item, "pre", item) for item in result]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(list(_ENGINES)), path_queries())
+def test_path_queries_preserved(seed, query):
+    engine = _ENGINES[seed]
+    expected = reference_keys(engine, query)
+    for strategy in ("nljoin", "twigjoin", "scjoin"):
+        result = engine.run(query, strategy=strategy)
+        assert [getattr(i, "pre", i) for i in result] == expected, \
+            (query, strategy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(list(_ENGINES)), flwor_queries())
+def test_flwor_queries_preserved(seed, query):
+    engine = _ENGINES[seed]
+    expected = reference_keys(engine, query)
+    for strategy in ("nljoin", "scjoin"):
+        result = engine.run(query, strategy=strategy)
+        assert [getattr(i, "pre", i) for i in result] == expected, \
+            (query, strategy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(list(_ENGINES)), flwor_queries())
+def test_extensions_preserve_semantics(seed, query):
+    """Positional + multi-output extensions never change results."""
+    expected = reference_keys(_ENGINES[seed], query)
+    extended = _EXTENDED[seed]
+    for strategy in ("nljoin", "twigjoin", "scjoin"):
+        result = extended.run(query, strategy=strategy)
+        assert [getattr(i, "pre", i) for i in result] == expected, \
+            (query, strategy)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(list(_ENGINES)), path_queries())
+def test_path_results_distinct_doc_ordered(seed, query):
+    """Path expressions always yield distinct nodes in document order."""
+    engine = _ENGINES[seed]
+    result = engine.run(query)
+    pres = [node.pre for node in result]
+    assert pres == sorted(set(pres))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(list(_ENGINES)), path_queries())
+def test_compilation_deterministic(seed, query):
+    engine = _ENGINES[seed]
+    first = engine.compile(query).canonical_plan()
+    second = engine.compile(query).canonical_plan()
+    assert first == second

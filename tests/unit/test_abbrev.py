@@ -1,0 +1,126 @@
+"""The ``//`` abbreviation resolver and its positional safety condition."""
+
+from repro.xmltree.axes import Axis
+from repro.xquery import ast, parse_query
+from repro.xquery.abbrev import resolve_abbreviations
+
+
+def axes_of(expr):
+    found = []
+
+    def walk(node):
+        if isinstance(node, ast.AxisStep):
+            found.append(node.axis)
+        for child in ast.iter_children(node):
+            walk(child)
+
+    walk(expr)
+    return found
+
+
+def resolved(text):
+    return resolve_abbreviations(parse_query(text))
+
+
+class TestCollapse:
+    def test_simple_descendant(self):
+        expr = resolved("$d//person")
+        assert Axis.DESCENDANT in axes_of(expr)
+        assert Axis.DESCENDANT_OR_SELF not in axes_of(expr)
+
+    def test_chained_descendants(self):
+        expr = resolved("$d//a//b")
+        axes = axes_of(expr)
+        assert axes.count(Axis.DESCENDANT) == 2
+        assert Axis.DESCENDANT_OR_SELF not in axes
+
+    def test_mixed_with_child(self):
+        expr = resolved("$d//a/b//c")
+        axes = axes_of(expr)
+        assert axes.count(Axis.DESCENDANT) == 2
+        assert axes.count(Axis.CHILD) == 1
+
+    def test_leading_double_slash(self):
+        expr = resolved("//person")
+        assert Axis.DESCENDANT in axes_of(expr)
+
+    def test_inside_flwor(self):
+        expr = resolved("for $x in $d//person return $x//name")
+        assert axes_of(expr).count(Axis.DESCENDANT) == 2
+
+    def test_inside_predicate(self):
+        expr = resolved("$d/a[.//b]")
+        assert Axis.DESCENDANT in axes_of(expr)
+
+    def test_node_predicate_still_collapses(self):
+        expr = resolved("$d//person[emailaddress]")
+        assert Axis.DESCENDANT in axes_of(expr)
+
+    def test_comparison_predicate_still_collapses(self):
+        expr = resolved('$d//person[name = "x"]')
+        assert Axis.DESCENDANT in axes_of(expr)
+
+    def test_boolean_function_predicate_collapses(self):
+        expr = resolved("$d//person[not(emailaddress)]")
+        assert Axis.DESCENDANT in axes_of(expr)
+
+    def test_and_of_safe_predicates_collapses(self):
+        expr = resolved("$d//person[emailaddress and profile]")
+        assert Axis.DESCENDANT in axes_of(expr)
+
+
+class TestSafetyConditions:
+    """``//a[pos]`` is NOT ``descendant::a[pos]`` — the collapse must not
+    fire when the predicate could be positional."""
+
+    def test_numeric_literal_blocks(self):
+        expr = resolved("$d//person[1]")
+        assert Axis.DESCENDANT_OR_SELF in axes_of(expr)
+        assert Axis.DESCENDANT not in axes_of(expr)
+
+    def test_position_function_blocks(self):
+        expr = resolved("$d//person[position() = 1]")
+        assert Axis.DESCENDANT_OR_SELF in axes_of(expr)
+
+    def test_last_function_blocks(self):
+        expr = resolved("$d//person[position() = last()]")
+        assert Axis.DESCENDANT_OR_SELF in axes_of(expr)
+
+    def test_variable_predicate_blocks(self):
+        # A variable could hold a number → positional → unsafe.
+        expr = resolved("$d//person[$n]")
+        assert Axis.DESCENDANT_OR_SELF in axes_of(expr)
+
+    def test_arithmetic_blocks(self):
+        expr = resolved("$d//person[1 + 1]")
+        assert Axis.DESCENDANT_OR_SELF in axes_of(expr)
+
+    def test_count_blocks(self):
+        expr = resolved("$d//person[count(emailaddress)]")
+        assert Axis.DESCENDANT_OR_SELF in axes_of(expr)
+
+    def test_unsafe_conjunct_blocks(self):
+        expr = resolved("$d//person[emailaddress and $n]")
+        assert Axis.DESCENDANT_OR_SELF in axes_of(expr)
+
+    def test_semantics_preserved_either_way(self):
+        """The collapsed and uncollapsed forms must evaluate equally."""
+        from repro import Engine
+        engine = Engine.from_xml(
+            "<d><a><p><q/></p><p/></a><p><q/></p></d>")
+        collapsed = [n.pre for n in engine.run("$input//p[q]")]
+        explicit = [n.pre for n in engine.run(
+            "$input/descendant-or-self::node()/child::p[child::q]")]
+        assert collapsed == explicit
+
+    def test_positional_semantics_preserved(self):
+        """//p[1] (kept uncollapsed) differs from /descendant::p[1]."""
+        from repro import Engine
+        engine = Engine.from_xml("<d><a><p i='1'/><p i='2'/></a>"
+                                 "<p i='3'/></d>")
+        double_slash = [n.get_attribute("i")
+                        for n in engine.run("$input//p[1]")]
+        descendant = [n.get_attribute("i")
+                      for n in engine.run("$input/descendant::p[1]")]
+        assert double_slash == ["1", "3"]
+        assert descendant == ["1"]

@@ -1,0 +1,200 @@
+"""Evaluation of the individual algebra operators."""
+
+import pytest
+
+from repro.algebra import (Arith, Compare, Const, DDOPlan, DynamicError,
+                           EvalContext, FieldAccess, FnCall, IfPlan,
+                           InputTuple, LetPlan, Logical, MapFromItem,
+                           MapToItem, Select, SeqPlan, TreeJoin,
+                           TupleTreePattern, VarPlan, eval_item, eval_tuples)
+from repro.algebra.ops import TypeswitchCase, TypeswitchPlan
+from repro.pattern import parse_pattern
+from repro.physical import NLJoin
+from repro.xmltree import IndexedDocument
+from repro.xmltree.axes import Axis
+from repro.xmltree.nodetest import NameTest
+from repro.xqcore import fresh_var
+
+DOC = IndexedDocument.from_string(
+    "<a><b i='1'>x</b><c><b i='2'>y</b></c></a>")
+
+
+def ctx(**globals_by_name):
+    return EvalContext(document=DOC, strategy=NLJoin())
+
+
+class TestItemOperators:
+    def test_const(self):
+        assert eval_item(Const((1, "a")), ctx()) == [1, "a"]
+        assert eval_item(Const(()), ctx()) == []
+
+    def test_var_lookup(self):
+        var = fresh_var("d", origin="external")
+        context = ctx()
+        context.globals[var] = [42]
+        assert eval_item(VarPlan(var), context) == [42]
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(DynamicError):
+            eval_item(VarPlan(fresh_var("nope")), ctx())
+
+    def test_tree_join(self):
+        var = fresh_var("d", origin="external")
+        context = ctx()
+        context.globals[var] = [DOC.root]
+        plan = TreeJoin(Axis.DESCENDANT, NameTest("b"), VarPlan(var))
+        result = eval_item(plan, context)
+        assert [n.get_attribute("i") for n in result] == ["1", "2"]
+
+    def test_tree_join_over_non_node_raises(self):
+        with pytest.raises(DynamicError):
+            eval_item(TreeJoin(Axis.CHILD, NameTest("b"), Const((1,))),
+                      ctx())
+
+    def test_ddo(self):
+        b1, b2 = DOC.stream("b")
+        var = fresh_var("v")
+        context = ctx()
+        context.globals[var] = [b2, b1, b2]
+        result = eval_item(DDOPlan(VarPlan(var)), context)
+        assert result == [b1, b2]
+
+    def test_fncall(self):
+        assert eval_item(FnCall("fn:count", [Const((1, 2, 3))]), ctx()) == [3]
+
+    def test_compare_existential(self):
+        plan = Compare("=", Const((1, 2)), Const((2, 5)))
+        assert eval_item(plan, ctx()) == [True]
+        plan = Compare(">", Const((1, 2)), Const((5,)))
+        assert eval_item(plan, ctx()) == [False]
+
+    def test_logical_short_circuit(self):
+        # right operand would raise, but the left decides
+        bad = FnCall("fn:no-such", [])
+        assert eval_item(Logical("and", Const((False,)), bad), ctx()) == [False]
+        assert eval_item(Logical("or", Const((True,)), bad), ctx()) == [True]
+
+    def test_arith(self):
+        assert eval_item(Arith("+", Const((2,)), Const((3,))), ctx()) == [5]
+        assert eval_item(Arith("*", Const((2,)), Const((3,))), ctx()) == [6]
+        assert eval_item(Arith("+", Const(()), Const((3,))), ctx()) == []
+
+    def test_if(self):
+        plan = IfPlan(Const((True,)), Const((1,)), Const((2,)))
+        assert eval_item(plan, ctx()) == [1]
+        plan = IfPlan(Const(()), Const((1,)), Const((2,)))
+        assert eval_item(plan, ctx()) == [2]
+
+    def test_let(self):
+        var = fresh_var("x")
+        plan = LetPlan(var, Const((5,)),
+                       Arith("+", VarPlan(var), VarPlan(var)))
+        assert eval_item(plan, ctx()) == [10]
+
+    def test_let_scoping_restored(self):
+        var = fresh_var("x")
+        context = ctx()
+        context.variables[var] = [1]
+        plan = LetPlan(var, Const((2,)), VarPlan(var))
+        assert eval_item(plan, context) == [2]
+        assert context.variables[var] == [1]
+
+    def test_seq(self):
+        plan = SeqPlan([Const((1,)), Const((2, 3))])
+        assert eval_item(plan, ctx()) == [1, 2, 3]
+
+    def test_typeswitch_numeric_dispatch(self):
+        case_var = fresh_var("v")
+        default_var = fresh_var("v")
+        plan = TypeswitchPlan(
+            Const((5,)),
+            [TypeswitchCase("numeric", case_var, VarPlan(case_var))],
+            default_var, Const(("default",)))
+        assert eval_item(plan, ctx()) == [5]
+        plan = TypeswitchPlan(
+            Const(("str",)),
+            [TypeswitchCase("numeric", case_var, VarPlan(case_var))],
+            default_var, Const(("default",)))
+        assert eval_item(plan, ctx()) == ["default"]
+
+
+class TestTupleOperators:
+    def test_map_from_item(self):
+        plan = MapFromItem("f", Const((10, 20)))
+        tuples = eval_tuples(plan, ctx())
+        assert tuples == [{"f": [10]}, {"f": [20]}]
+
+    def test_map_from_item_with_index(self):
+        plan = MapFromItem("f", Const(("a", "b")), index_field="i")
+        tuples = eval_tuples(plan, ctx())
+        assert tuples == [{"f": ["a"], "i": [1]}, {"f": ["b"], "i": [2]}]
+
+    def test_map_to_item_concatenates(self):
+        plan = MapToItem(FieldAccess("f"), MapFromItem("f", Const((1, 2))))
+        assert eval_item(plan, ctx()) == [1, 2]
+
+    def test_select_filters(self):
+        plan = Select(Compare("=", FieldAccess("f"), Const((2,))),
+                      MapFromItem("f", Const((1, 2, 3))))
+        tuples = eval_tuples(plan, ctx())
+        assert tuples == [{"f": [2]}]
+
+    def test_input_tuple_outside_dependent_raises(self):
+        with pytest.raises(DynamicError):
+            eval_tuples(InputTuple(), ctx())
+
+    def test_field_access_through_scope_chain(self):
+        # inner map reads a field bound by the outer map
+        inner = MapToItem(FieldAccess("outer"),
+                          MapFromItem("inner", Const((9,))))
+        plan = MapToItem(inner, MapFromItem("outer", Const((1, 2))))
+        assert eval_item(plan, ctx()) == [1, 2]
+
+    def test_ttp_single_output(self):
+        var = fresh_var("d", origin="external")
+        context = ctx()
+        context.globals[var] = [DOC.root]
+        pattern = parse_pattern("IN#dot/descendant::b{out}")
+        plan = MapToItem(FieldAccess("out"),
+                         TupleTreePattern(pattern,
+                                          MapFromItem("dot", VarPlan(var))))
+        result = eval_item(plan, context)
+        assert [n.get_attribute("i") for n in result] == ["1", "2"]
+
+    def test_ttp_extends_input_tuple(self):
+        var = fresh_var("d", origin="external")
+        context = ctx()
+        context.globals[var] = [DOC.root]
+        pattern = parse_pattern("IN#dot/descendant::b{out}")
+        plan = TupleTreePattern(pattern, MapFromItem("dot", VarPlan(var)))
+        tuples = eval_tuples(plan, context)
+        assert len(tuples) == 2
+        for tuple_ in tuples:
+            assert set(tuple_) == {"dot", "out"}
+
+    def test_ttp_drops_non_matching_tuples(self):
+        var = fresh_var("d", origin="external")
+        context = ctx()
+        context.globals[var] = [DOC.root]
+        pattern = parse_pattern("IN#dot/child::zzz{out}")
+        plan = TupleTreePattern(pattern, MapFromItem("dot", VarPlan(var)))
+        assert eval_tuples(plan, context) == []
+
+    def test_ttp_multi_output_bindings(self):
+        """The paper's Section 4.1 example semantics."""
+        doc = IndexedDocument.from_string(
+            '<r><a><c id="1"><d id="2"/><d id="3"/></c></a>'
+            '<a><c/></a>'
+            '<a><c id="4"><d id="5"/></c><c id="6"/></a></r>')
+        contexts = doc.stream("a")
+        var = fresh_var("d", origin="external")
+        context = EvalContext(document=doc, strategy=NLJoin())
+        context.globals[var] = contexts
+        pattern = parse_pattern(
+            "IN#x/descendant-or-self::a/child::c{y}[@id]/child::d{z}")
+        plan = TupleTreePattern(pattern, MapFromItem("x", VarPlan(var)))
+        tuples = eval_tuples(plan, context)
+        ids = [(t["y"][0].get_attribute("id"), t["z"][0].get_attribute("id"))
+               for t in tuples]
+        # first tuple matches twice, second not at all, third once
+        assert ids == [("1", "2"), ("1", "3"), ("4", "5")]

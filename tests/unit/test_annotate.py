@@ -1,0 +1,57 @@
+"""The annotation viewer for the document-order analysis."""
+
+from repro import Engine
+from repro.rewrite import (annotated_pretty, collect_annotations,
+                           facts_label, whole_expression_facts)
+from repro.rewrite.facts import Facts, ORDERED, SINGLETON, UNKNOWN
+
+ENGINE = Engine.from_xml("<a/>")
+
+
+def tpnf(query):
+    return ENGINE.compile(query).tpnf
+
+
+class TestFactsLabel:
+    def test_labels(self):
+        assert facts_label(SINGLETON) == "one,ord,sep"
+        assert facts_label(ORDERED) == "ord"
+        assert facts_label(UNKNOWN) == "-"
+        assert facts_label(Facts(True, False, True)) == "ord,sep"
+
+
+class TestWholeExpressionFacts:
+    def test_child_chain_is_separated(self):
+        assert whole_expression_facts(tpnf("$d/site/people/person")) \
+            == "ord,sep"
+
+    def test_descendant_path_is_ordered_only(self):
+        assert whole_expression_facts(tpnf("$d//person/name")) == "ord"
+
+    def test_count_is_singleton(self):
+        assert "one" in whole_expression_facts(tpnf("count($d//a)"))
+
+
+class TestAnnotatedPretty:
+    def test_for_sources_annotated(self):
+        text = annotated_pretty(tpnf("$d/site/people/person[emailaddress]"))
+        assert "(* source: ord,sep *)" in text
+
+    def test_descendant_source_not_separated(self):
+        text = annotated_pretty(tpnf("$d//person[emailaddress]/name"))
+        assert "(* " in text
+        # the descendant loop's source is ordered, not separated
+        annotations = collect_annotations(
+            tpnf("$d//person[emailaddress]/name"))
+        labels = set(annotations.values())
+        assert any(label.endswith("ord") for label in labels)
+
+    def test_annotations_keyed_by_binder(self):
+        annotations = collect_annotations(tpnf("$d/site/people"))
+        assert any(key.startswith("for $dot") for key in annotations)
+
+    def test_plain_lines_unchanged(self):
+        expr = tpnf("count($d//a)")
+        text = annotated_pretty(expr)
+        # a call with no binders gets no comment noise
+        assert text.count("(*") <= 1

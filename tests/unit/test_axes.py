@@ -1,0 +1,127 @@
+"""Axis navigation: each axis against its set-theoretic definition."""
+
+import pytest
+
+from repro.xmltree import (ANY_NODE, Axis, NameTest, axis_from_string,
+                           axis_nodes, parse_xml, step)
+from repro.xmltree.node import AttributeNode
+
+DOC = parse_xml(
+    '<a id="r"><b><d/><e>x</e></b><c><f/><g><h/></g></c></a>')
+A = DOC.document_element
+B, C = A.children
+D, E = B.children
+F, G = C.children
+H = G.children[0]
+
+
+def names(nodes):
+    return [node.name if node.name is not None else "#" + node.kind
+            for node in nodes]
+
+
+class TestForwardAxes:
+    def test_child(self):
+        assert list(axis_nodes(A, Axis.CHILD)) == [B, C]
+        assert list(axis_nodes(H, Axis.CHILD)) == []
+
+    def test_descendant(self):
+        assert names(axis_nodes(A, Axis.DESCENDANT)) == [
+            "b", "d", "e", "#text", "c", "f", "g", "h"]
+
+    def test_descendant_or_self(self):
+        result = list(axis_nodes(C, Axis.DESCENDANT_OR_SELF))
+        assert result[0] is C
+        assert names(result) == ["c", "f", "g", "h"]
+
+    def test_self(self):
+        assert list(axis_nodes(B, Axis.SELF)) == [B]
+
+    def test_attribute(self):
+        attrs = list(axis_nodes(A, Axis.ATTRIBUTE))
+        assert len(attrs) == 1
+        assert isinstance(attrs[0], AttributeNode)
+        assert attrs[0].name == "id"
+        assert list(axis_nodes(B, Axis.ATTRIBUTE)) == []
+
+    def test_following_sibling(self):
+        assert list(axis_nodes(B, Axis.FOLLOWING_SIBLING)) == [C]
+        assert list(axis_nodes(C, Axis.FOLLOWING_SIBLING)) == []
+
+    def test_following(self):
+        # after B's subtree, excluding ancestors: c, f, g, h
+        assert names(axis_nodes(B, Axis.FOLLOWING)) == ["c", "f", "g", "h"]
+        assert names(axis_nodes(E, Axis.FOLLOWING)) == ["c", "f", "g", "h"]
+
+    def test_forward_axes_in_document_order(self):
+        for axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF,
+                     Axis.FOLLOWING_SIBLING, Axis.FOLLOWING):
+            result = list(axis_nodes(A, axis)) or list(axis_nodes(B, axis))
+            pres = [node.pre for node in result]
+            assert pres == sorted(pres), axis
+
+
+class TestReverseAxes:
+    def test_parent(self):
+        assert list(axis_nodes(B, Axis.PARENT)) == [A]
+        assert list(axis_nodes(A, Axis.PARENT)) == [DOC]
+        assert list(axis_nodes(DOC, Axis.PARENT)) == []
+
+    def test_ancestor(self):
+        assert list(axis_nodes(H, Axis.ANCESTOR)) == [G, C, A, DOC]
+
+    def test_ancestor_or_self(self):
+        assert list(axis_nodes(H, Axis.ANCESTOR_OR_SELF)) == [H, G, C, A, DOC]
+
+    def test_preceding_sibling(self):
+        assert list(axis_nodes(C, Axis.PRECEDING_SIBLING)) == [B]
+        # reverse document order
+        assert list(axis_nodes(E, Axis.PRECEDING_SIBLING)) == [D]
+
+    def test_preceding(self):
+        # nodes entirely before C, excluding ancestors: b, d, e, text
+        result = list(axis_nodes(C, Axis.PRECEDING))
+        pres = [node.pre for node in result]
+        assert pres == sorted(pres, reverse=True)
+        assert set(names(result)) == {"b", "d", "e", "#text"}
+
+    def test_reverse_flags(self):
+        assert Axis.PARENT.is_reverse
+        assert Axis.ANCESTOR.is_reverse
+        assert not Axis.CHILD.is_reverse
+        assert Axis.CHILD.is_forward
+
+
+class TestStep:
+    def test_step_filters_by_name(self):
+        doc = parse_xml("<a><b/><c/><b/></a>")
+        root = doc.document_element
+        result = step(root, Axis.CHILD, NameTest("b"))
+        assert names(result) == ["b", "b"]
+
+    def test_step_any_node(self):
+        result = step(B, Axis.CHILD, ANY_NODE)
+        assert len(result) == 2
+
+    def test_attribute_principal_kind(self):
+        result = step(A, Axis.ATTRIBUTE, NameTest("id"))
+        assert len(result) == 1
+        # name tests on non-attribute axes never match attributes
+        assert step(A, Axis.CHILD, NameTest("id")) == []
+
+    def test_downward_classification(self):
+        assert Axis.CHILD.is_downward
+        assert Axis.DESCENDANT.is_downward
+        assert Axis.ATTRIBUTE.is_downward
+        assert not Axis.PARENT.is_downward
+        assert not Axis.FOLLOWING.is_downward
+
+
+class TestAxisParsing:
+    def test_from_string(self):
+        assert axis_from_string("child") is Axis.CHILD
+        assert axis_from_string("descendant-or-self") is Axis.DESCENDANT_OR_SELF
+
+    def test_unknown_axis(self):
+        with pytest.raises(ValueError):
+            axis_from_string("sideways")

@@ -1,0 +1,128 @@
+"""The document builder, and end-to-end queries over reverse axes."""
+
+import pytest
+
+from repro import Engine
+from repro.xmltree import serialize
+from repro.xmltree.builder import E, build_document
+
+
+class TestBuilder:
+    def test_simple_tree(self):
+        doc = build_document(E("a", E("b"), E("c", "text")))
+        root = doc.root.document_element
+        assert root.name == "a"
+        assert [child.name for child in root.children] == ["b", "c"]
+        assert root.children[1].string_value() == "text"
+
+    def test_attributes(self):
+        doc = build_document(E("a", id="1", class_="x"))
+        element = doc.root.document_element
+        assert element.get_attribute("id") == "1"
+        assert element.get_attribute("class") == "x"
+
+    def test_attribute_values_stringified(self):
+        doc = build_document(E("a", n=42))
+        assert doc.root.document_element.get_attribute("n") == "42"
+
+    def test_regions_assigned(self):
+        doc = build_document(E("a", E("b", E("c")), E("d")))
+        pres = [node.pre for node in doc.nodes_by_pre]
+        assert pres == list(range(doc.size))
+
+    def test_rejects_bad_children(self):
+        with pytest.raises(TypeError):
+            build_document(E("a", 42))  # type: ignore[arg-type]
+
+    def test_round_trips_through_serializer(self):
+        doc = build_document(E("a", E("b", "hi", id="1")))
+        assert serialize(doc.root) == '<a><b id="1">hi</b></a>'
+
+    def test_queryable(self):
+        doc = build_document(
+            E("site",
+              E("person", E("name", "John"), id="p1"),
+              E("person", E("name", "Mary"), id="p2")))
+        engine = Engine(doc)
+        assert [n.string_value()
+                for n in engine.run("$input//person[@id='p2']/name")] == [
+            "Mary"]
+
+
+@pytest.fixture(scope="module")
+def reverse_engine():
+    doc = build_document(
+        E("library",
+          E("shelf",
+            E("book", E("title", "A"), E("page"), E("page")),
+            E("book", E("title", "B")),
+            floor="1"),
+          E("shelf",
+            E("book", E("title", "C"), E("page")),
+            floor="2")))
+    return Engine(doc)
+
+
+class TestReverseAxesEndToEnd:
+    """Reverse axes stay navigational TreeJoins but must still evaluate
+    correctly through the whole pipeline."""
+
+    def test_parent_axis(self, reverse_engine):
+        result = reverse_engine.run("$input//page/parent::book/title")
+        assert [n.string_value() for n in result] == ["A", "C"]
+
+    def test_ancestor_axis(self, reverse_engine):
+        result = reverse_engine.run("$input//page/ancestor::shelf/@floor")
+        assert [n.string_value() for n in result] == ["1", "2"]
+
+    def test_ancestor_or_self(self, reverse_engine):
+        result = reverse_engine.run(
+            "count($input//book[1]/ancestor-or-self::*)")
+        # first book per shelf: {bookA, shelf1, library, bookC, shelf2}
+        assert result == [5]
+
+    def test_following_sibling(self, reverse_engine):
+        result = reverse_engine.run(
+            "$input//book[page]/following-sibling::book/title")
+        assert [n.string_value() for n in result] == ["B"]
+
+    def test_preceding_sibling(self, reverse_engine):
+        result = reverse_engine.run(
+            "$input//book[title = 'B']/preceding-sibling::book/title")
+        assert [n.string_value() for n in result] == ["A"]
+
+    def test_following_axis(self, reverse_engine):
+        result = reverse_engine.run(
+            "count($input//book[title = 'B']/following::book)")
+        assert result == [1]
+
+    def test_preceding_axis(self, reverse_engine):
+        result = reverse_engine.run(
+            "count($input//book[title = 'C']/preceding::book)")
+        assert result == [2]
+
+    def test_dot_dot_abbreviation(self, reverse_engine):
+        result = reverse_engine.run("$input//page/../title")
+        assert [n.string_value() for n in result] == ["A", "C"]
+
+    def test_reverse_axis_results_in_document_order(self, reverse_engine):
+        """Path steps over reverse axes still produce document order
+        (the surrounding ddo re-sorts)."""
+        result = reverse_engine.run("$input//page/ancestor::*")
+        pres = [n.pre for n in result]
+        assert pres == sorted(set(pres))
+
+    @pytest.mark.parametrize("strategy", ["nljoin", "twigjoin", "scjoin",
+                                          "streaming", "stacktree"])
+    def test_reverse_axes_under_all_strategies(self, reverse_engine,
+                                               strategy):
+        reference = reverse_engine.run(
+            "$input//page/ancestor::shelf/@floor", optimize=False)
+        got = reverse_engine.run("$input//page/ancestor::shelf/@floor",
+                                 strategy=strategy)
+        assert [n.pre for n in got] == [n.pre for n in reference]
+
+    def test_mixed_forward_reverse(self, reverse_engine):
+        result = reverse_engine.run(
+            "$input//page/ancestor::shelf/book[1]/title")
+        assert [n.string_value() for n in result] == ["A", "C"]

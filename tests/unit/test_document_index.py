@@ -1,0 +1,100 @@
+"""IndexedDocument: tag streams, region slices, document order utilities."""
+
+from repro.xmltree import (IndexedDocument, ddo, document_order,
+                           is_distinct_doc_ordered, parse_xml)
+
+
+def make():
+    return IndexedDocument.from_string(
+        "<a><b><a><c/></a></b><c/><b/></a>")
+
+
+class TestStreams:
+    def test_tag_streams_sorted(self):
+        doc = make()
+        for tag, stream in doc.tag_streams.items():
+            pres = [node.pre for node in stream]
+            assert pres == sorted(pres), tag
+
+    def test_stream_contents(self):
+        doc = make()
+        assert len(doc.stream("a")) == 2
+        assert len(doc.stream("b")) == 2
+        assert len(doc.stream("c")) == 2
+        assert doc.stream("nope") == []
+
+    def test_nodes_by_pre_dense(self):
+        doc = make()
+        assert [node.pre for node in doc.nodes_by_pre] == list(
+            range(doc.size))
+
+    def test_node_at(self):
+        doc = make()
+        for pre in range(doc.size):
+            assert doc.node_at(pre).pre == pre
+
+    def test_attribute_streams(self):
+        doc = IndexedDocument.from_string('<a id="1"><b id="2" x="3"/></a>')
+        assert len(doc.attribute_streams["id"]) == 2
+        assert len(doc.attribute_streams["x"]) == 1
+
+    def test_text_stream(self):
+        doc = IndexedDocument.from_string("<a>x<b>y</b></a>")
+        assert [t.text for t in doc.text_stream] == ["x", "y"]
+
+    def test_all_elements(self):
+        doc = make()
+        assert len(doc.all_elements()) == 6
+
+
+class TestRegionSlices:
+    def test_stream_in_region(self):
+        doc = make()
+        root = doc.root.document_element
+        inner_b = doc.stream("b")[0]
+        in_b = doc.stream_in_region("a", inner_b)
+        assert len(in_b) == 1  # the nested <a>
+        assert in_b[0].level == 3
+
+    def test_include_self(self):
+        doc = make()
+        nested_a = doc.stream("a")[1]
+        assert doc.stream_in_region("a", nested_a) == []
+        with_self = doc.stream_in_region("a", nested_a, include_self=True)
+        assert with_self == [nested_a]
+
+    def test_empty_tag(self):
+        doc = make()
+        assert doc.stream_in_region("zzz", doc.root) == []
+
+
+class TestDocumentOrder:
+    def test_ddo_sorts_and_dedups(self):
+        doc = make()
+        nodes = doc.all_elements()
+        shuffled = nodes[::-1] + nodes[:2]
+        result = ddo(shuffled)
+        assert result == nodes
+
+    def test_ddo_empty(self):
+        assert ddo([]) == []
+
+    def test_ddo_idempotent(self):
+        doc = make()
+        nodes = doc.all_elements()
+        assert ddo(ddo(nodes)) == ddo(nodes)
+
+    def test_document_order_keeps_duplicates(self):
+        doc = make()
+        nodes = doc.all_elements()
+        result = document_order([nodes[0], nodes[0]])
+        assert len(result) == 2
+
+    def test_is_distinct_doc_ordered(self):
+        doc = make()
+        nodes = doc.all_elements()
+        assert is_distinct_doc_ordered(nodes)
+        assert not is_distinct_doc_ordered(nodes[::-1])
+        assert not is_distinct_doc_ordered([nodes[0], nodes[0]])
+        assert is_distinct_doc_ordered([])
+        assert is_distinct_doc_ordered([nodes[0]])

@@ -1,0 +1,85 @@
+"""DOT rendering of plans and patterns."""
+
+import re
+
+from repro import Engine
+from repro.algebra import pattern_to_dot, plan_to_dot
+from repro.pattern import parse_pattern
+
+ENGINE = Engine.from_xml("<a><b/></a>")
+
+
+def edges_of(dot_text):
+    return re.findall(r"(\w+) -> (\w+)", dot_text)
+
+
+def nodes_of(dot_text):
+    return re.findall(r'^\s*(\w+) \[label="', dot_text, re.MULTILINE)
+
+
+class TestPlanDot:
+    def test_structure(self):
+        compiled = ENGINE.compile("$input//person[emailaddress]/name")
+        dot = plan_to_dot(compiled.optimized)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "TupleTreePattern" in dot
+        assert "MapFromItem" in dot
+
+    def test_every_non_root_node_has_an_edge(self):
+        compiled = ENGINE.compile('$input//a[b = "x"]/c')
+        dot = plan_to_dot(compiled.optimized)
+        nodes = set(nodes_of(dot)) - {"node"}
+        touched = {name for edge in edges_of(dot) for name in edge}
+        # exactly one node (the root) may be untouched in a 1-node plan
+        assert len(nodes - touched) <= 1
+
+    def test_dependent_edges_dashed(self):
+        compiled = ENGINE.compile('$input//a[b = "x"]/c')
+        dot = plan_to_dot(compiled.optimized)
+        assert "style=dashed" in dot
+        assert 'label="dep"' in dot
+
+    def test_unoptimized_plan_renders(self):
+        compiled = ENGINE.compile("for $x in $input//a return $x/b")
+        dot = plan_to_dot(compiled.plan, name="raw")
+        assert 'digraph "raw"' in dot
+        assert "TreeJoin" in dot
+
+    def test_quotes_escaped(self):
+        # XQuery escapes a quote by doubling it; the DOT label must
+        # backslash-escape the resulting literal quote character.
+        compiled = ENGINE.compile('$input//a[b = "quo""te"]')
+        dot = plan_to_dot(compiled.optimized)
+        assert '\\"' in dot
+        assert dot.count("digraph") == 1
+
+
+class TestPatternDot:
+    def test_spine_and_branch(self):
+        pattern = parse_pattern(
+            "IN#dot/descendant::person[child::emailaddress]/child::name{out}")
+        dot = pattern_to_dot(pattern)
+        assert 'label="descendant"' in dot
+        assert 'label="child"' in dot
+        assert "name {out}" in dot
+        # output-annotated nodes are double-circled
+        assert "peripheries=2" in dot
+
+    def test_positional_annotation_shown(self):
+        pattern = parse_pattern("IN#dot/child::a[2]{o}")
+        dot = pattern_to_dot(pattern)
+        assert "[2]" in dot
+
+    def test_context_box(self):
+        pattern = parse_pattern("IN#ctx/child::a{o}")
+        dot = pattern_to_dot(pattern)
+        assert "IN#ctx" in dot
+        assert "shape=box" in dot
+
+    def test_edge_count_matches_steps(self):
+        pattern = parse_pattern(
+            "IN#d/descendant::a[child::b[child::c]]/child::e{o}")
+        dot = pattern_to_dot(pattern)
+        # ctx→a, a→b, b→c, a→e
+        assert len(edges_of(dot)) == 4

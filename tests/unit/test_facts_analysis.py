@@ -1,0 +1,177 @@
+"""The sequence-facts analysis: ord/nodup, separated, confinement."""
+
+from repro.rewrite.facts import (Facts, SINGLETON, UNKNOWN,
+                                 confined_to_subtree, sequence_facts)
+from repro.xmltree.axes import Axis
+from repro.xmltree.nodetest import NameTest
+from repro.xqcore import (CCall, CDDO, CEmpty, CFor, CIf, CLet, CLit, CSeq,
+                          CStep, CVar, fresh_var)
+
+
+def step(axis, name, input_expr):
+    return CStep(axis, NameTest(name), input_expr)
+
+
+def ext(name="d"):
+    return fresh_var(name, origin="external")
+
+
+class TestBasicFacts:
+    def test_external_variable_singleton(self):
+        facts = sequence_facts(CVar(ext()))
+        assert facts.singleton and facts.ord_nodup and facts.separated
+
+    def test_literal_singleton(self):
+        assert sequence_facts(CLit(1)) == SINGLETON
+
+    def test_empty_ordered(self):
+        facts = sequence_facts(CEmpty())
+        assert facts.ord_nodup and facts.separated and not facts.singleton
+
+    def test_unknown_user_variable(self):
+        assert sequence_facts(CVar(fresh_var("u"))) == UNKNOWN
+
+    def test_ddo_establishes_order(self):
+        facts = sequence_facts(CDDO(CVar(fresh_var("u"))))
+        assert facts.ord_nodup
+        assert not facts.separated  # sorting cannot separate
+
+    def test_count_singleton(self):
+        facts = sequence_facts(CCall("fn:count", [CEmpty()]))
+        assert facts.singleton
+
+
+class TestStepFacts:
+    def test_child_from_singleton(self):
+        facts = sequence_facts(step(Axis.CHILD, "a", CVar(ext())))
+        assert facts.ord_nodup and facts.separated and not facts.singleton
+
+    def test_descendant_from_singleton_not_separated(self):
+        facts = sequence_facts(step(Axis.DESCENDANT, "a", CVar(ext())))
+        assert facts.ord_nodup and not facts.separated
+
+    def test_child_chain_stays_separated(self):
+        chain = step(Axis.CHILD, "b", step(Axis.CHILD, "a", CVar(ext())))
+        facts = sequence_facts(chain)
+        assert facts.ord_nodup and facts.separated
+
+    def test_child_after_descendant_unknown(self):
+        chain = step(Axis.CHILD, "b",
+                     step(Axis.DESCENDANT, "a", CVar(ext())))
+        facts = sequence_facts(chain)
+        assert not facts.ord_nodup
+
+    def test_descendant_after_child_sorted(self):
+        chain = step(Axis.DESCENDANT, "b", step(Axis.CHILD, "a", CVar(ext())))
+        facts = sequence_facts(chain)
+        assert facts.ord_nodup and not facts.separated
+
+    def test_parent_from_singleton(self):
+        facts = sequence_facts(step(Axis.PARENT, "a", CVar(ext())))
+        assert facts.ord_nodup
+        assert not facts.singleton  # the parent may not exist
+
+    def test_ancestor_unknown(self):
+        facts = sequence_facts(step(Axis.ANCESTOR, "a", CVar(ext())))
+        assert facts == UNKNOWN
+
+
+class TestLoopFacts:
+    def test_filter_loop_preserves_facts(self):
+        x = fresh_var("x")
+        source = step(Axis.CHILD, "a", CVar(ext()))
+        loop = CFor(x, None, source, CCall("fn:boolean", [CVar(x)]), CVar(x))
+        facts = sequence_facts(loop)
+        assert facts.ord_nodup and facts.separated
+
+    def test_loop_rule_child_body(self):
+        x = fresh_var("x")
+        source = step(Axis.CHILD, "a", CVar(ext()))
+        loop = CFor(x, None, source, None, step(Axis.CHILD, "b", CVar(x)))
+        facts = sequence_facts(loop)
+        assert facts.ord_nodup and facts.separated
+
+    def test_loop_rule_descendant_body(self):
+        x = fresh_var("x")
+        source = step(Axis.CHILD, "a", CVar(ext()))
+        loop = CFor(x, None, source,
+                    None, step(Axis.DESCENDANT, "b", CVar(x)))
+        facts = sequence_facts(loop)
+        assert facts.ord_nodup and not facts.separated
+
+    def test_loop_over_unseparated_source_unknown(self):
+        x = fresh_var("x")
+        source = step(Axis.DESCENDANT, "a", CVar(ext()))
+        loop = CFor(x, None, source, None, step(Axis.CHILD, "b", CVar(x)))
+        assert sequence_facts(loop) == UNKNOWN
+
+    def test_loop_with_unconfined_body_unknown(self):
+        x = fresh_var("x")
+        other = ext("other")
+        source = step(Axis.CHILD, "a", CVar(ext()))
+        loop = CFor(x, None, source, None,
+                    step(Axis.CHILD, "b", CVar(other)))
+        assert sequence_facts(loop) == UNKNOWN
+
+    def test_singleton_source_passes_body_facts(self):
+        x = fresh_var("x")
+        loop = CFor(x, None, CVar(ext()), None,
+                    step(Axis.DESCENDANT, "b", CVar(x)))
+        facts = sequence_facts(loop)
+        assert facts.ord_nodup
+
+
+class TestConfinement:
+    def test_variable_is_confined_to_itself(self):
+        x = fresh_var("x")
+        assert confined_to_subtree(CVar(x), frozenset({x}))
+        assert not confined_to_subtree(CVar(fresh_var("y")), frozenset({x}))
+
+    def test_downward_steps_confined(self):
+        x = fresh_var("x")
+        expr = step(Axis.DESCENDANT, "a", step(Axis.CHILD, "b", CVar(x)))
+        assert confined_to_subtree(expr, frozenset({x}))
+
+    def test_parent_step_not_confined(self):
+        x = fresh_var("x")
+        expr = step(Axis.PARENT, "a", CVar(x))
+        assert not confined_to_subtree(expr, frozenset({x}))
+
+    def test_nested_loop_confined(self):
+        x, y = fresh_var("x"), fresh_var("y")
+        inner = CFor(y, None, step(Axis.CHILD, "a", CVar(x)), None,
+                     step(Axis.CHILD, "b", CVar(y)))
+        assert confined_to_subtree(inner, frozenset({x}))
+
+    def test_let_of_confined_value(self):
+        x, y = fresh_var("x"), fresh_var("y")
+        expr = CLet(y, step(Axis.CHILD, "a", CVar(x)),
+                    step(Axis.CHILD, "b", CVar(y)))
+        assert confined_to_subtree(expr, frozenset({x}))
+
+    def test_let_of_unconfined_value(self):
+        x, y = fresh_var("x"), fresh_var("y")
+        expr = CLet(y, CVar(ext()), step(Axis.CHILD, "b", CVar(y)))
+        assert not confined_to_subtree(expr, frozenset({x}))
+
+    def test_if_requires_both_branches(self):
+        x = fresh_var("x")
+        confined = step(Axis.CHILD, "a", CVar(x))
+        unconfined = CVar(ext())
+        cond = CLit(True)
+        assert confined_to_subtree(CIf(cond, confined, confined),
+                                   frozenset({x}))
+        assert not confined_to_subtree(CIf(cond, confined, unconfined),
+                                       frozenset({x}))
+
+    def test_literals_not_confined(self):
+        x = fresh_var("x")
+        assert not confined_to_subtree(CLit(1), frozenset({x}))
+        assert confined_to_subtree(CEmpty(), frozenset({x}))
+
+    def test_sequence_confined_when_all_items_are(self):
+        x = fresh_var("x")
+        good = CSeq([step(Axis.CHILD, "a", CVar(x)), CVar(x)])
+        bad = CSeq([CVar(x), CVar(ext())])
+        assert confined_to_subtree(good, frozenset({x}))
+        assert not confined_to_subtree(bad, frozenset({x}))

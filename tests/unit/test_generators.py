@@ -1,0 +1,136 @@
+"""The MemBeR-style and XMark-style document generators."""
+
+import pytest
+
+from repro.data import (XMARK_CHILD_DESCENDANT_PAIRS,
+                        approximate_size_bytes, deep_member_document,
+                        member_document, tag_name, xmark_document)
+from repro.xmltree.node import ElementNode
+
+
+class TestMemBeR:
+    def test_node_count_exact(self):
+        doc = member_document(500, depth=4, tag_count=10, seed=1)
+        elements = doc.all_elements()
+        assert len(elements) == 500
+
+    def test_depth_bounded(self):
+        doc = member_document(2000, depth=4, tag_count=10, seed=2)
+        max_level = max(node.level for node in doc.all_elements())
+        assert max_level <= 4
+
+    def test_tags_within_range(self):
+        doc = member_document(500, depth=4, tag_count=7, seed=3)
+        tags = {node.name for node in doc.all_elements()}
+        allowed = {tag_name(index) for index in range(1, 8)}
+        assert tags <= allowed
+
+    def test_tags_roughly_uniform(self):
+        doc = member_document(5000, depth=6, tag_count=5, seed=4)
+        counts = {tag: len(doc.stream(tag))
+                  for tag in (tag_name(i) for i in range(1, 6))}
+        expected = 5000 / 5
+        for tag, count in counts.items():
+            assert 0.6 * expected < count < 1.4 * expected, (tag, count)
+
+    def test_deterministic(self):
+        doc1 = member_document(300, seed=42)
+        doc2 = member_document(300, seed=42)
+        assert [n.name for n in doc1.all_elements()] == \
+            [n.name for n in doc2.all_elements()]
+
+    def test_different_seeds_differ(self):
+        doc1 = member_document(300, seed=1)
+        doc2 = member_document(300, seed=2)
+        assert [n.name for n in doc1.all_elements()] != \
+            [n.name for n in doc2.all_elements()]
+
+    def test_root_is_t01(self):
+        doc = member_document(50, seed=5)
+        assert doc.root.document_element.name == tag_name(1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            member_document(0)
+
+    def test_size_estimate_positive(self):
+        doc = member_document(100, seed=6)
+        assert approximate_size_bytes(doc) > 100
+
+
+class TestDeepMemBeR:
+    def test_single_tag(self):
+        doc = deep_member_document(500, 10)
+        assert all(node.name == "t1" for node in doc.all_elements())
+
+    def test_node_count(self):
+        doc = deep_member_document(500, 10)
+        assert len(doc.all_elements()) == 500
+
+    def test_reaches_depth(self):
+        doc = deep_member_document(2000, 12)
+        assert max(node.level for node in doc.all_elements()) >= 12
+
+    def test_first_child_chain_long_enough(self):
+        """(/t1[1])^k needs a first-child chain of length ≥ depth."""
+        doc = deep_member_document(2000, 12)
+        node = doc.root.document_element
+        length = 1
+        while node.children:
+            node = node.children[0]
+            length += 1
+        assert length >= 12
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            deep_member_document(0)
+
+
+class TestXMark:
+    def test_schema_shape(self):
+        doc = xmark_document(30, seed=1)
+        site = doc.root.document_element
+        assert site.name == "site"
+        top = [child.name for child in site.children]
+        assert top == ["regions", "categories", "catgraph", "people",
+                       "open_auctions", "closed_auctions"]
+
+    def test_person_count(self):
+        doc = xmark_document(30, seed=2)
+        assert len(doc.stream("person")) == 30
+
+    def test_person_structure(self):
+        doc = xmark_document(50, seed=3)
+        for person in doc.stream("person"):
+            names = [child.name for child in person.children]
+            assert names[0] == "name"
+            assert person.get_attribute("id") is not None
+
+    def test_email_probability_extremes(self):
+        all_email = xmark_document(30, seed=4, email_probability=1.0)
+        assert len(all_email.stream("emailaddress")) == 30
+        no_email = xmark_document(30, seed=4, email_probability=0.0)
+        assert len(no_email.stream("emailaddress")) == 0
+
+    def test_items_scale(self):
+        doc = xmark_document(30, seed=5)
+        assert len(doc.stream("item")) == 60
+
+    def test_deterministic(self):
+        doc1 = xmark_document(20, seed=9)
+        doc2 = xmark_document(20, seed=9)
+        assert [n.pre for n in doc1.stream("interest")] == \
+            [n.pre for n in doc2.stream("interest")]
+
+    def test_figure6_pairs_equivalent(self):
+        from repro import Engine
+        engine = Engine(xmark_document(40, seed=6))
+        for name, child_form, descendant_form in XMARK_CHILD_DESCENDANT_PAIRS:
+            child_result = [n.pre for n in engine.run(child_form)]
+            descendant_result = [n.pre for n in engine.run(descendant_form)]
+            assert child_result == descendant_result, name
+            assert child_result, f"{name} returned nothing"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            xmark_document(0)

@@ -1,0 +1,76 @@
+"""XQuery lexer."""
+
+import pytest
+
+from repro.xquery.lexer import (DECIMAL, EOF, INTEGER, NAME, STRING, SYMBOL,
+                                VARIABLE, XQuerySyntaxError, tokenize)
+
+
+def kinds(text):
+    return [(token.type, token.value) for token in tokenize(text)
+            if token.type != EOF]
+
+
+class TestTokens:
+    def test_variables(self):
+        assert kinds("$x $long-name $ns:qualified") == [
+            (VARIABLE, "x"), (VARIABLE, "long-name"),
+            (VARIABLE, "ns:qualified")]
+
+    def test_numbers(self):
+        assert kinds("1 42 3.14") == [
+            (INTEGER, "1"), (INTEGER, "42"), (DECIMAL, "3.14")]
+
+    def test_strings_both_quotes(self):
+        assert kinds("\"abc\" 'def'") == [(STRING, "abc"), (STRING, "def")]
+
+    def test_string_escape_by_doubling(self):
+        assert kinds('"a""b"') == [(STRING, 'a"b')]
+        assert kinds("'a''b'") == [(STRING, "a'b")]
+
+    def test_qnames(self):
+        assert kinds("fn:count child person") == [
+            (NAME, "fn:count"), (NAME, "child"), (NAME, "person")]
+
+    def test_axis_separator_not_a_qname(self):
+        assert kinds("child::a") == [
+            (NAME, "child"), (SYMBOL, "::"), (NAME, "a")]
+
+    def test_multichar_symbols(self):
+        assert kinds("// :: := .. != <= >=") == [
+            (SYMBOL, "//"), (SYMBOL, "::"), (SYMBOL, ":="), (SYMBOL, ".."),
+            (SYMBOL, "!="), (SYMBOL, "<="), (SYMBOL, ">=")]
+
+    def test_path_expression(self):
+        assert kinds("$d//person[1]/name") == [
+            (VARIABLE, "d"), (SYMBOL, "//"), (NAME, "person"),
+            (SYMBOL, "["), (INTEGER, "1"), (SYMBOL, "]"), (SYMBOL, "/"),
+            (NAME, "name")]
+
+    def test_comments_skipped(self):
+        assert kinds("1 (: comment :) 2") == [(INTEGER, "1"), (INTEGER, "2")]
+
+    def test_nested_comments(self):
+        assert kinds("1 (: a (: b :) c :) 2") == [
+            (INTEGER, "1"), (INTEGER, "2")]
+
+    def test_eof_token_present(self):
+        tokens = tokenize("1")
+        assert tokens[-1].type == EOF
+
+    def test_positions(self):
+        tokens = tokenize("  $x")
+        assert tokens[0].position == 2
+
+
+class TestLexErrors:
+    @pytest.mark.parametrize("text", [
+        '"unterminated',
+        "'unterminated",
+        "$",
+        "(: unterminated",
+        "#",
+    ])
+    def test_raises(self, text):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize(text)

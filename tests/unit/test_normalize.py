@@ -1,0 +1,200 @@
+"""Normalization into XQuery Core (the paper's Section 2 / Q1a-n shape)."""
+
+import pytest
+
+from repro.xmltree.axes import Axis
+from repro.xqcore import (CCall, CDDO, CFor, CGenCmp, CIf, CLet, CLit,
+                          CLogical, CStep, CTypeswitch, CVar,
+                          NormalizationError, normalize_query, pretty, walk)
+from repro.xquery import parse_query
+from repro.xquery.abbrev import resolve_abbreviations
+
+
+def norm(text):
+    return normalize_query(resolve_abbreviations(parse_query(text)))
+
+
+class TestPathNormalization:
+    def test_q1a_outer_shape(self):
+        """The paper's Q1a-n: ddo(let $seq := ddo(...) let $last := ...
+        for $dot at $position in $seq return child::name)."""
+        core = norm("$d//person[emailaddress]/name").core
+        assert isinstance(core, CDDO)
+        outer_let = core.arg
+        assert isinstance(outer_let, CLet)
+        assert outer_let.var.name == "seq"
+        assert isinstance(outer_let.value, CDDO)
+        last_let = outer_let.body
+        assert isinstance(last_let, CLet)
+        assert last_let.var.name == "last"
+        assert isinstance(last_let.value, CCall)
+        assert last_let.value.name == "fn:count"
+        loop = last_let.body
+        assert isinstance(loop, CFor)
+        assert loop.var.name == "dot"
+        assert loop.position_var is not None
+        assert loop.position_var.name == "position"
+        assert isinstance(loop.body, CDDO)
+        step = loop.body.arg
+        assert isinstance(step, CStep)
+        assert step.axis is Axis.CHILD
+        assert step.test.to_string() == "name"
+
+    def test_predicate_produces_typeswitch(self):
+        core = norm("$d/person[emailaddress]").core
+        switches = [node for node in walk(core)
+                    if isinstance(node, CTypeswitch)]
+        assert len(switches) == 1
+        switch = switches[0]
+        assert len(switch.cases) == 1
+        assert switch.cases[0].seqtype == "numeric"
+        # numeric branch compares $position with the case variable
+        body = switch.cases[0].body
+        assert isinstance(body, CGenCmp)
+        assert body.op == "="
+        # default branch is fn:boolean($v)
+        assert isinstance(switch.default_body, CCall)
+        assert switch.default_body.name == "fn:boolean"
+
+    def test_predicate_filter_loop_returns_dot(self):
+        core = norm("$d/person[emailaddress]").core
+        loops = [node for node in walk(core) if isinstance(node, CFor)]
+        filter_loops = [loop for loop in loops if loop.where is not None]
+        assert len(filter_loops) == 1
+        loop = filter_loops[0]
+        assert isinstance(loop.body, CVar)
+        assert loop.body.var == loop.var
+
+    def test_double_slash_collapses_to_descendant(self):
+        core = norm("$d//person").core
+        steps = [node for node in walk(core) if isinstance(node, CStep)]
+        assert any(step.axis is Axis.DESCENDANT for step in steps)
+        assert not any(step.axis is Axis.DESCENDANT_OR_SELF
+                       for step in steps)
+
+    def test_positional_double_slash_not_collapsed(self):
+        core = norm("$d//person[1]").core
+        steps = [node for node in walk(core) if isinstance(node, CStep)]
+        assert any(step.axis is Axis.DESCENDANT_OR_SELF for step in steps)
+
+    def test_fresh_variables_distinct(self):
+        core = norm("$d/a/b/c").core
+        binders = set()
+        for node in walk(core):
+            for var in node.bound_vars():
+                assert var not in binders
+                binders.add(var)
+
+    def test_global_variables_registered(self):
+        result = norm("$d/person")
+        assert set(result.global_vars) == {"d"}
+        assert result.global_vars["d"].origin == "external"
+
+    def test_ddo_not_doubled(self):
+        core = norm("$d/a/b").core
+        for node in walk(core):
+            if isinstance(node, CDDO):
+                assert not isinstance(node.arg, CDDO)
+
+
+class TestFLWORNormalization:
+    def test_where_attaches_to_for(self):
+        core = norm("for $x in $d/a where $x/b return $x").core
+        loops = [node for node in walk(core)
+                 if isinstance(node, CFor) and node.where is not None]
+        assert loops
+
+    def test_where_after_let_becomes_if(self):
+        core = norm(
+            "for $x in $d/a let $y := $x/b where $y return $y").core
+        assert any(isinstance(node, CIf) for node in walk(core))
+
+    def test_multi_for_nests(self):
+        core = norm("for $x in $d/a, $y in $x/b return $y").core
+        assert isinstance(core, CFor)
+        # second clause nested in the body (possibly under nothing else)
+        inner = [node for node in walk(core.body) if isinstance(node, CFor)]
+        assert inner
+
+    def test_at_variable_bound(self):
+        core = norm("for $x at $i in $d/a return $i").core
+        assert isinstance(core, CFor)
+        assert core.position_var is not None
+        assert isinstance(core.body, CVar)
+        assert core.body.var == core.position_var
+
+
+class TestOperatorsAndFunctions:
+    def test_comparison(self):
+        core = norm('$x = "John"').core
+        assert isinstance(core, CGenCmp)
+
+    def test_logical_wraps_ebv(self):
+        core = norm("$x and $y").core
+        assert isinstance(core, CLogical)
+        assert isinstance(core.left, CCall)
+        assert core.left.name == "fn:boolean"
+
+    def test_unprefixed_functions_resolved(self):
+        core = norm("count($d/a)").core
+        assert core.name == "fn:count"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(NormalizationError):
+            norm("frobnicate($x)")
+
+    def test_position_function_maps_to_variable(self):
+        core = norm("$d/a[position() = 1]").core
+        switches = [node for node in walk(core)
+                    if isinstance(node, CTypeswitch)]
+        scrutinee = switches[0].input
+        assert isinstance(scrutinee, CGenCmp)
+        assert isinstance(scrutinee.left, CVar)
+        assert scrutinee.left.var.name == "position"
+
+    def test_last_function_maps_to_variable(self):
+        core = norm("$d/a[position() = last()]").core
+        switches = [node for node in walk(core)
+                    if isinstance(node, CTypeswitch)]
+        scrutinee = switches[0].input
+        assert isinstance(scrutinee.right, CVar)
+        assert scrutinee.right.var.name == "last"
+
+    def test_position_outside_focus_rejected(self):
+        with pytest.raises(NormalizationError):
+            norm("position()")
+
+    def test_quantifier_some(self):
+        core = norm("some $x in $d/a satisfies $x/b").core
+        assert isinstance(core, CCall)
+        assert core.name == "fn:exists"
+
+    def test_quantifier_every(self):
+        core = norm("every $x in $d/a satisfies $x/b").core
+        assert core.name == "fn:empty"
+
+    def test_sequence_and_literals(self):
+        core = norm("(1, 'a', 2.5)").core
+        values = [node.value for node in walk(core)
+                  if isinstance(node, CLit)]
+        assert values == [1, "a", 2.5]
+
+    def test_if_condition_ebv(self):
+        core = norm("if ($d/a) then 1 else 2").core
+        assert isinstance(core, CIf)
+        assert isinstance(core.condition, CCall)
+        assert core.condition.name == "fn:boolean"
+
+
+class TestPretty:
+    def test_pretty_mentions_paper_shapes(self):
+        text = pretty(norm("$d//person[emailaddress]/name").core)
+        assert "ddo(" in text
+        assert "let $seq :=" in text
+        assert "for $dot at $position in $seq" in text
+        assert "typeswitch" in text
+        assert "descendant::person" in text
+
+    def test_pretty_unique_names(self):
+        text = pretty(norm("$d/a/b").core)
+        assert "$seq2" in text or text.count("$seq") >= 2

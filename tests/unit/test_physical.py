@@ -1,0 +1,226 @@
+"""The three physical algorithms against each other and hand checks."""
+
+import pytest
+
+from repro.pattern import parse_pattern
+from repro.physical import (HeuristicChooser, NLJoin, StackTreeJoin,
+                            StaircaseJoin, Strategy, TwigJoin,
+                            make_algorithm)
+from repro.xmltree import IndexedDocument
+
+DOC = IndexedDocument.from_string(
+    '<site><people>'
+    '<person id="p1"><name>John</name><emailaddress/>'
+    '<profile><interest/><interest/></profile></person>'
+    '<person id="p2"><name>Mary</name><profile><interest/></profile></person>'
+    '<person id="p3"><name>John</name><emailaddress/></person>'
+    '</people></site>')
+
+NESTED = IndexedDocument.from_string(
+    "<doc><a><b><a><c/></a></b><c/></a><a><c/></a></doc>")
+
+ALGORITHMS = [NLJoin(), TwigJoin(), StaircaseJoin(), StackTreeJoin()]
+
+
+def single(algorithm, document, pattern_text, contexts=None):
+    pattern = parse_pattern(pattern_text)
+    contexts = contexts if contexts is not None else [document.root]
+    nodes = algorithm.match_single(document, contexts, pattern.path)
+    return [node.pre for node in nodes]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS,
+                         ids=lambda a: a.name)
+class TestMatchSingle:
+    def test_descendant_name(self, algorithm):
+        result = single(algorithm, DOC, "IN#d/descendant::person{o}")
+        assert result == [node.pre for node in DOC.stream("person")]
+
+    def test_child_chain(self, algorithm):
+        result = single(algorithm, DOC,
+                        "IN#d/child::site/child::people/child::person{o}")
+        assert result == [node.pre for node in DOC.stream("person")]
+
+    def test_predicate_branch(self, algorithm):
+        result = single(algorithm, DOC,
+                        "IN#d/descendant::person[child::emailaddress]{o}")
+        expected = [node.pre for node in DOC.stream("person")
+                    if node.get_attribute("id") in ("p1", "p3")]
+        assert result == expected
+
+    def test_nested_predicate(self, algorithm):
+        result = single(
+            algorithm, DOC,
+            "IN#d/descendant::person[child::profile[child::interest]]{o}")
+        expected = [node.pre for node in DOC.stream("person")
+                    if node.get_attribute("id") in ("p1", "p2")]
+        assert result == expected
+
+    def test_continuation_after_predicate(self, algorithm):
+        result = single(
+            algorithm, DOC,
+            "IN#d/descendant::person[child::emailaddress]/child::name{o}")
+        assert len(result) == 2
+
+    def test_attribute_step(self, algorithm):
+        result = single(algorithm, DOC, "IN#d/descendant::person/@id{o}")
+        assert len(result) == 3
+
+    def test_attribute_branch(self, algorithm):
+        result = single(algorithm, DOC, "IN#d/descendant::person[@id]{o}")
+        assert len(result) == 3
+
+    def test_wildcard(self, algorithm):
+        result = single(algorithm, DOC, "IN#d/child::site/child::*{o}")
+        assert len(result) == 1  # people
+
+    def test_descendant_or_self(self, algorithm):
+        a_nodes = NESTED.stream("a")
+        result = single(algorithm, NESTED,
+                        "IN#d/descendant-or-self::a{o}", [a_nodes[0]])
+        assert result == [a_nodes[0].pre, a_nodes[1].pre]
+
+    def test_no_match(self, algorithm):
+        assert single(algorithm, DOC, "IN#d/descendant::zzz{o}") == []
+
+    def test_node_kind_test_excludes_attributes(self, algorithm):
+        """Regression: attributes are not children/descendants, so
+        node() streams must never surface them (TwigJoin once did)."""
+        doc = IndexedDocument.from_string('<a id="1"><b x="2">t</b></a>')
+        path = "IN#d/child::a/child::node(){o}"
+        result = single(algorithm, doc, path)
+        kinds = [doc.node_at(pre).kind for pre in result]
+        assert "attribute" not in kinds
+        assert kinds == ["element"]
+
+    def test_multiple_contexts_doc_order_dedup(self, algorithm):
+        contexts = list(NESTED.stream("a"))
+        result = single(algorithm, NESTED, "IN#d/descendant::c{o}", contexts)
+        expected = [node.pre for node in NESTED.stream("c")]
+        assert result == expected
+
+    def test_nested_contexts(self, algorithm):
+        """Contexts where one contains another: still ddo semantics."""
+        contexts = list(NESTED.stream("a"))[:2]  # outer a and nested a
+        result = single(algorithm, NESTED, "IN#d/descendant::c{o}", contexts)
+        pres = [node.pre for node in NESTED.stream("c")[:2]]
+        assert result == pres
+
+    def test_results_always_sorted_unique(self, algorithm):
+        for pattern in ("IN#d/descendant::a{o}",
+                        "IN#d/descendant::a/child::c{o}",
+                        "IN#d/descendant::a/descendant::c{o}"):
+            result = single(algorithm, NESTED, pattern)
+            assert result == sorted(set(result))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS,
+                         ids=lambda a: a.name)
+class TestEnumerateBindings:
+    def test_spine_outputs(self, algorithm):
+        pattern = parse_pattern(
+            "IN#d/descendant::person{p}/child::name{n}")
+        bindings = algorithm.enumerate_bindings(DOC, DOC.root, pattern.path)
+        assert len(bindings) == 3
+        for binding in bindings:
+            assert binding["n"].parent is binding["p"]
+
+    def test_lexical_order(self, algorithm):
+        pattern = parse_pattern(
+            "IN#d/descendant::person{p}/child::name{n}")
+        bindings = algorithm.enumerate_bindings(DOC, DOC.root, pattern.path)
+        keys = [(b["p"].pre, b["n"].pre) for b in bindings]
+        assert keys == sorted(keys)
+
+    def test_branch_filtering(self, algorithm):
+        pattern = parse_pattern(
+            "IN#d/descendant::person[child::emailaddress]{p}")
+        bindings = algorithm.enumerate_bindings(DOC, DOC.root, pattern.path)
+        assert len(bindings) == 2
+
+
+class TestAgreement:
+    PATTERNS = [
+        "IN#d/descendant::a{o}",
+        "IN#d/descendant::a/child::c{o}",
+        "IN#d/descendant::a[child::c]{o}",
+        "IN#d/descendant::a[child::b[child::a]]{o}",
+        "IN#d/child::doc/descendant::c{o}",
+        "IN#d/descendant-or-self::node()/child::c{o}",
+        "IN#d/descendant::b/descendant::c{o}",
+    ]
+
+    @pytest.mark.parametrize("pattern_text", PATTERNS)
+    def test_all_algorithms_agree(self, pattern_text):
+        results = {algorithm.name: single(algorithm, NESTED, pattern_text)
+                   for algorithm in ALGORITHMS}
+        reference = results["nljoin"]
+        assert all(result == reference for result in results.values())
+
+
+class TestFallbacks:
+    def test_twig_falls_back_on_reverse_axis(self):
+        pattern = parse_pattern("IN#d/descendant::c{o}")
+        from repro.pattern import PatternPath, PatternStep
+        from repro.xmltree.axes import Axis
+        from repro.xmltree.nodetest import AnyKindTest
+        path = PatternPath((
+            PatternStep(Axis.DESCENDANT, AnyKindTest(), (), None),
+            PatternStep(Axis.PARENT, AnyKindTest(), (), "o"),
+        ))
+        twig = TwigJoin()
+        nl = NLJoin()
+        assert ([n.pre for n in twig.match_single(NESTED, [NESTED.root], path)]
+                == [n.pre for n in nl.match_single(NESTED, [NESTED.root], path)])
+
+    def test_staircase_bindings_fall_back(self):
+        pattern = parse_pattern("IN#d/descendant::a{p}/child::c{n}")
+        sc = StaircaseJoin()
+        nl = NLJoin()
+        assert (sc.enumerate_bindings(NESTED, NESTED.root, pattern.path)
+                == nl.enumerate_bindings(NESTED, NESTED.root, pattern.path))
+
+
+class TestStrategyFactory:
+    def test_make_all(self):
+        assert make_algorithm("nljoin").name == "nljoin"
+        assert make_algorithm(Strategy.TWIG_JOIN).name == "twigjoin"
+        assert make_algorithm("scjoin").name == "scjoin"
+        assert make_algorithm("auto", DOC).name == "auto"
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            make_algorithm("quantum")
+
+    def test_heuristic_prefers_navigation_for_small_regions(self):
+        from repro.data import deep_member_document
+        deep = deep_member_document(2000, 10)
+        chooser = HeuristicChooser(deep)
+        # A context deep in the tree: its region is tiny relative to the
+        # 2000-element t1 stream the index algorithms would scan.
+        context = deep.stream("t1")[-1].parent
+        pattern = parse_pattern("IN#d/child::t1{o}")
+        chooser.match_single(deep, [context], pattern.path)
+        assert chooser.decisions[-1] == "nljoin"
+
+    def test_heuristic_prefers_twig_for_branching(self):
+        chooser = HeuristicChooser(DOC)
+        pattern = parse_pattern(
+            "IN#d/descendant::person[child::emailaddress]{o}")
+        chooser.match_single(DOC, [DOC.root], pattern.path)
+        assert chooser.decisions[-1] == "twigjoin"
+
+    def test_heuristic_prefers_staircase_for_plain_spines(self):
+        chooser = HeuristicChooser(DOC)
+        pattern = parse_pattern("IN#d/descendant::person/child::name{o}")
+        chooser.match_single(DOC, [DOC.root], pattern.path)
+        assert chooser.decisions[-1] == "scjoin"
+
+    def test_heuristic_matches_reference_results(self):
+        chooser = HeuristicChooser(DOC)
+        nl = NLJoin()
+        for text in ("IN#d/descendant::person{o}",
+                     "IN#d/descendant::person[child::emailaddress]{o}"):
+            pattern = parse_pattern(text)
+            assert (chooser.match_single(DOC, [DOC.root], pattern.path)
+                    == nl.match_single(DOC, [DOC.root], pattern.path))

@@ -1,0 +1,86 @@
+"""Plan rendering branches and canonical invariance."""
+
+from repro.algebra import (Arith, Compare, Const, FieldAccess, FnCall,
+                           IfPlan, InputTuple, LetPlan, Logical,
+                           MapFromItem, MapToItem, SeqPlan, VarPlan,
+                           plan_canonical, plan_to_string)
+from repro.algebra.ops import TypeswitchCase, TypeswitchPlan
+from repro import Engine
+from repro.xqcore import fresh_var
+
+ENGINE = Engine.from_xml("<a/>")
+
+
+class TestRenderBranches:
+    def test_const_sequences(self):
+        assert plan_to_string(Const((1,))) == "1"
+        assert plan_to_string(Const((1, "a"))) == '(1, "a")'
+        assert plan_to_string(Const((True,))) == "fn:true()"
+        assert plan_to_string(Const(('say "hi"',))) == '"say ""hi"""'
+
+    def test_if_plan(self):
+        plan = IfPlan(Const((True,)), Const((1,)), Const((2,)))
+        text = plan_to_string(plan)
+        assert text == "If{fn:true()}(1; 2)"
+
+    def test_let_plan(self):
+        var = fresh_var("x")
+        plan = LetPlan(var, Const((1,)), VarPlan(var))
+        text = plan_to_string(plan)
+        assert "Let[$x := 1]" in text
+
+    def test_seq_plan(self):
+        text = plan_to_string(SeqPlan([Const((1,)), Const((2,))]))
+        assert text == "Seq(1; 2)"
+
+    def test_logical_and_arith(self):
+        plan = Logical("and", Const((True,)),
+                       Arith("+", Const((1,)), Const((2,))))
+        text = plan_to_string(plan)
+        assert "(fn:true() and (1 + 2))" in text
+
+    def test_typeswitch_plan(self):
+        case_var, default_var = fresh_var("v"), fresh_var("w")
+        plan = TypeswitchPlan(
+            Const((1,)),
+            [TypeswitchCase("numeric", case_var, VarPlan(case_var))],
+            default_var, Const(("d",)))
+        text = plan_to_string(plan)
+        assert "Typeswitch{1}(" in text
+        assert "case $v as numeric()" in text
+        assert "default $w" in text
+
+    def test_input_tuple(self):
+        assert plan_to_string(InputTuple()) == "IN"
+
+    def test_map_from_item_with_index(self):
+        plan = MapFromItem("f", Const((1,)), index_field="i")
+        assert "f : IN; i : INDEX" in plan_to_string(plan)
+
+    def test_compare(self):
+        plan = Compare("<", FieldAccess("a"), Const((3,)))
+        assert plan_to_string(plan) == "IN#a < 3"
+
+
+class TestCanonical:
+    def test_invariant_under_field_names(self):
+        one = ENGINE.compile("$d//a[b]/c").canonical_plan()
+        two = ENGINE.compile("$d//a[b]/c").canonical_plan()
+        assert one == two
+
+    def test_distinguishes_structure(self):
+        one = ENGINE.compile("$d//a[b]/c").canonical_plan()
+        two = ENGINE.compile("$d//a[c]/b").canonical_plan()
+        assert one != two
+
+    def test_canonical_covers_let_and_typeswitch_vars(self):
+        compiled = ENGINE.compile("$d//a[position() = last()]",
+                                  optimize=True)
+        text = plan_canonical(compiled.optimized)
+        assert text  # renders without error
+
+    def test_unoptimized_plan_canonical(self):
+        compiled = ENGINE.compile("for $x in $d/a let $y := $x/b "
+                                  "where $y return count($y)")
+        assert plan_canonical(compiled.plan)
+        assert plan_canonical(compiled.optimized)

@@ -1,0 +1,355 @@
+"""The four core rewrite families (paper Section 3), rule by rule."""
+
+from repro.typing import ItemType, infer_type
+from repro.xmltree.axes import Axis
+from repro.xmltree.nodetest import NameTest
+from repro.xqcore import (CaseClause, CCall, CDDO, CEmpty, CExpr, CFor,
+                          CGenCmp, CLet, CLit, CStep, CTypeswitch, CVar, Var,
+                          alpha_canonical, fresh_var, normalize_query,
+                          usage_count, walk)
+from repro.rewrite import (RewriteOptions, remove_redundant_ddo,
+                           rewrite_flwor, rewrite_to_tpnf,
+                           rewrite_typeswitches, split_loops)
+from repro.rewrite.facts import sequence_facts
+from repro.xquery import parse_query
+from repro.xquery.abbrev import resolve_abbreviations
+
+
+def norm(text):
+    return normalize_query(resolve_abbreviations(parse_query(text))).core
+
+
+def tpnf(text):
+    return rewrite_to_tpnf(norm(text))
+
+
+def canon(expr):
+    return alpha_canonical(expr)
+
+
+def step(axis, name, input_expr):
+    return CStep(axis, NameTest(name), input_expr)
+
+
+class TestTypeswitchRules:
+    def test_dead_numeric_case_removed(self):
+        """Node-typed predicate → numeric case pruned → fn:boolean."""
+        dot = fresh_var("dot", origin="focus")
+        case_var = fresh_var("v", origin="focus")
+        default_var = fresh_var("v", origin="focus")
+        position = fresh_var("position", origin="focus")
+        switch = CTypeswitch(
+            step(Axis.CHILD, "b", CVar(dot)),
+            [CaseClause("numeric", case_var,
+                        CGenCmp("=", CVar(position), CVar(case_var)))],
+            default_var, CCall("fn:boolean", [CVar(default_var)]))
+        result = rewrite_typeswitches(switch)
+        assert isinstance(result, CLet)
+        assert result.var == default_var
+
+    def test_sure_numeric_case_selected(self):
+        dot = fresh_var("dot", origin="focus")
+        case_var = fresh_var("v", origin="focus")
+        default_var = fresh_var("v", origin="focus")
+        position = fresh_var("position", origin="focus")
+        switch = CTypeswitch(
+            CLit(1),
+            [CaseClause("numeric", case_var,
+                        CGenCmp("=", CVar(position), CVar(case_var)))],
+            default_var, CCall("fn:boolean", [CVar(default_var)]))
+        result = rewrite_typeswitches(switch)
+        assert isinstance(result, CLet)
+        assert result.var == case_var
+
+    def test_unknown_type_keeps_typeswitch(self):
+        user = fresh_var("u")  # user variable: type unknown
+        case_var = fresh_var("v", origin="focus")
+        default_var = fresh_var("v", origin="focus")
+        switch = CTypeswitch(
+            CVar(user),
+            [CaseClause("numeric", case_var, CLit(True))],
+            default_var, CLit(False))
+        result = rewrite_typeswitches(switch)
+        assert isinstance(result, CTypeswitch)
+
+    def test_full_query_node_predicate(self):
+        result = rewrite_typeswitches(norm("$d/person[emailaddress]"))
+        assert not any(isinstance(node, CTypeswitch)
+                       for node in walk(result))
+
+    def test_full_query_numeric_predicate(self):
+        result = rewrite_typeswitches(norm("$d/person[2]"))
+        assert not any(isinstance(node, CTypeswitch)
+                       for node in walk(result))
+        comparisons = [node for node in walk(result)
+                       if isinstance(node, CGenCmp)]
+        assert comparisons
+
+
+class TestFLWORRules:
+    def test_dead_let_removed(self):
+        x = fresh_var("x")
+        expr = CLet(x, CLit(1), CLit(2))
+        assert rewrite_flwor(expr) == CLit(2)
+
+    def test_single_use_inlined(self):
+        x = fresh_var("x")
+        expr = CLet(x, CLit(1), CGenCmp("=", CVar(x), CLit(1)))
+        result = rewrite_flwor(expr)
+        assert result == CGenCmp("=", CLit(1), CLit(1))
+
+    def test_multi_use_not_inlined(self):
+        x = fresh_var("x")
+        d = fresh_var("d", origin="external")
+        value = step(Axis.CHILD, "a", CVar(d))
+        expr = CLet(x, value, CGenCmp("=", CVar(x), CVar(x)))
+        result = rewrite_flwor(expr)
+        assert isinstance(result, CLet)
+
+    def test_variable_binding_always_inlined(self):
+        x, y = fresh_var("x"), fresh_var("y")
+        expr = CLet(x, CVar(y), CGenCmp("=", CVar(x), CVar(x)))
+        result = rewrite_flwor(expr)
+        assert result == CGenCmp("=", CVar(y), CVar(y))
+
+    def test_unused_position_variable_dropped(self):
+        x, i = fresh_var("x"), fresh_var("i")
+        d = fresh_var("d", origin="external")
+        loop = CFor(x, i, step(Axis.CHILD, "a", CVar(d)), None,
+                    step(Axis.CHILD, "b", CVar(x)))
+        result = rewrite_flwor(loop)
+        assert isinstance(result, CFor)
+        assert result.position_var is None
+
+    def test_used_position_variable_kept(self):
+        x, i = fresh_var("x"), fresh_var("i")
+        d = fresh_var("d", origin="external")
+        loop = CFor(x, i, step(Axis.CHILD, "a", CVar(d)), None, CVar(i))
+        result = rewrite_flwor(loop)
+        assert isinstance(result, CFor)
+        assert result.position_var == i
+
+    def test_for_identity(self):
+        x = fresh_var("x")
+        d = fresh_var("d", origin="external")
+        source = step(Axis.CHILD, "a", CVar(d))
+        loop = CFor(x, None, source, None, CVar(x))
+        assert rewrite_flwor(loop) == source
+
+    def test_for_identity_blocked_by_where(self):
+        x = fresh_var("x")
+        d = fresh_var("d", origin="external")
+        loop = CFor(x, None, step(Axis.CHILD, "a", CVar(d)),
+                    CCall("fn:boolean", [CVar(x)]), CVar(x))
+        result = rewrite_flwor(loop)
+        assert isinstance(result, CFor)
+
+    def test_singleton_for_becomes_inline(self):
+        x = fresh_var("x")
+        d = fresh_var("d", origin="external")  # singleton by convention
+        loop = CFor(x, None, CVar(d), None, step(Axis.CHILD, "a", CVar(x)))
+        result = rewrite_flwor(loop)
+        # for over a singleton → let → inlined
+        assert result == step(Axis.CHILD, "a", CVar(d))
+
+    def test_usage_count_loop_counts_as_many(self):
+        x, y = fresh_var("x"), fresh_var("y")
+        d = fresh_var("d", origin="external")
+        loop = CFor(y, None, step(Axis.CHILD, "a", CVar(d)), None, CVar(x))
+        assert usage_count(loop, x) == 2
+
+
+class TestDocOrderRules:
+    def test_ddo_of_singleton_removed(self):
+        d = fresh_var("d", origin="external")
+        assert remove_redundant_ddo(CDDO(CVar(d))) == CVar(d)
+
+    def test_ddo_of_step_from_singleton_removed(self):
+        d = fresh_var("d", origin="external")
+        expr = CDDO(step(Axis.DESCENDANT, "a", CVar(d)))
+        assert remove_redundant_ddo(expr) == step(Axis.DESCENDANT, "a",
+                                                  CVar(d))
+
+    def test_top_level_unproven_ddo_kept(self):
+        u = fresh_var("u")  # unknown user variable
+        expr = CDDO(CVar(u))
+        assert isinstance(remove_redundant_ddo(expr), CDDO)
+
+    def test_ddo_under_ddo_removed(self):
+        u = fresh_var("u")
+        expr = CDDO(CDDO(CVar(u)))
+        result = remove_redundant_ddo(expr)
+        assert isinstance(result, CDDO)
+        assert not isinstance(result.arg, CDDO)
+
+    def test_ddo_under_boolean_removed(self):
+        u = fresh_var("u")
+        expr = CCall("fn:boolean", [CDDO(CVar(u))])
+        result = remove_redundant_ddo(expr)
+        assert result == CCall("fn:boolean", [CVar(u)])
+
+    def test_ddo_under_count_kept(self):
+        u = fresh_var("u")
+        expr = CCall("fn:count", [CDDO(CVar(u))])
+        result = remove_redundant_ddo(expr)
+        assert isinstance(result.args[0], CDDO)
+
+    def test_ddo_in_comparison_removed(self):
+        u = fresh_var("u")
+        expr = CGenCmp("=", CDDO(CVar(u)), CLit("x"))
+        result = remove_redundant_ddo(expr)
+        assert result == CGenCmp("=", CVar(u), CLit("x"))
+
+    def test_for_source_under_outer_ddo_removed(self):
+        u = fresh_var("u")
+        x = fresh_var("x")
+        loop = CFor(x, None, CDDO(CVar(u)), None,
+                    step(Axis.CHILD, "a", CVar(x)))
+        result = remove_redundant_ddo(CDDO(loop))
+        inner = result.arg if isinstance(result, CDDO) else result
+        assert not isinstance(inner.source, CDDO)
+
+    def test_for_source_with_position_var_kept(self):
+        u = fresh_var("u")
+        x, i = fresh_var("x"), fresh_var("i")
+        loop = CFor(x, i, CDDO(CVar(u)), None,
+                    CGenCmp("=", CVar(i), CLit(1)))
+        result = remove_redundant_ddo(CDDO(loop))
+        inner = result.arg if isinstance(result, CDDO) else result
+        assert isinstance(inner.source, CDDO)
+
+    def test_full_query_single_outer_ddo_for_descendant(self):
+        result = tpnf("$d//person/name")
+        ddos = [node for node in walk(result) if isinstance(node, CDDO)]
+        assert len(ddos) <= 1
+
+
+class TestFacts:
+    def test_child_chain_is_separated(self):
+        core = tpnf("$d/site/people/person")
+        facts = sequence_facts(core)
+        assert facts.ord_nodup
+        assert facts.separated
+
+    def test_descendant_not_separated(self):
+        core = tpnf("$d//person")
+        facts = sequence_facts(core)
+        assert facts.ord_nodup
+        assert not facts.separated
+
+    def test_descendant_then_child_sorted(self):
+        # //person/name is sorted only thanks to the re-sorting ddo
+        core = tpnf("$d//person/name")
+        facts = sequence_facts(core)
+        assert facts.ord_nodup  # because the outer ddo survives
+
+
+class TestLoopSplit:
+    def build_nested(self, with_positions=False):
+        d = fresh_var("d", origin="external")
+        x, y = fresh_var("x"), fresh_var("y")
+        i = fresh_var("i") if with_positions else None
+        inner = CFor(y, i, step(Axis.CHILD, "b", CVar(x)), None, CVar(y))
+        return CFor(x, None, step(Axis.DESCENDANT, "a", CVar(d)), None,
+                    inner), x, y
+
+    def test_splits_nested_loops(self):
+        loop, x, y = self.build_nested()
+        result = split_loops(loop)
+        assert isinstance(result, CFor)
+        assert result.var == y
+        assert isinstance(result.source, CFor)
+        assert result.source.var == x
+
+    def test_blocked_by_position_variable(self):
+        loop, x, y = self.build_nested(with_positions=True)
+        result = split_loops(loop)
+        assert result.var == x  # unchanged
+
+    def test_blocked_by_outer_var_in_inner_body(self):
+        d = fresh_var("d", origin="external")
+        x, y = fresh_var("x"), fresh_var("y")
+        inner = CFor(y, None, step(Axis.CHILD, "b", CVar(x)), None, CVar(x))
+        loop = CFor(x, None, step(Axis.DESCENDANT, "a", CVar(d)), None, inner)
+        result = split_loops(loop)
+        assert result.var == x
+
+    def test_where_clauses_travel(self):
+        d = fresh_var("d", origin="external")
+        x, y = fresh_var("x"), fresh_var("y")
+        cond = CCall("fn:boolean", [step(Axis.CHILD, "c", CVar(y))])
+        inner = CFor(y, None, step(Axis.CHILD, "b", CVar(x)), cond, CVar(y))
+        loop = CFor(x, None, step(Axis.DESCENDANT, "a", CVar(d)), None, inner)
+        result = split_loops(loop)
+        assert result.var == y
+        assert result.where is cond
+
+
+class TestPipeline:
+    def test_figure1_variants_converge(self):
+        variants = [
+            "$d//person[emailaddress]/name",
+            "(for $x in $d//person[emailaddress] return $x)/name",
+            "let $x := (for $y in $d//person where $y/emailaddress "
+            "return $y) return $x/name",
+        ]
+        canons = {canon(tpnf(text)) for text in variants}
+        assert len(canons) == 1
+
+    def test_q5_differs_from_q1(self):
+        q1 = canon(tpnf("$d//person[emailaddress]/name"))
+        q5 = canon(tpnf(
+            "for $x in $d//person[emailaddress] return $x/name"))
+        assert q1 != q5
+
+    def test_options_disable_families(self):
+        core = norm("$d//person[emailaddress]/name")
+        untouched = rewrite_to_tpnf(core, options=RewriteOptions.none())
+        assert canon(untouched) == canon(core)
+
+    def test_pipeline_is_idempotent(self):
+        result = tpnf("$d//person[emailaddress]/name")
+        assert canon(rewrite_to_tpnf(result)) == canon(result)
+
+    def test_positional_query_keeps_position(self):
+        result = tpnf("$d//person[position() = 1]")
+        loops = [node for node in walk(result)
+                 if isinstance(node, CFor) and node.position_var is not None]
+        assert loops
+
+
+class TestTypeInference:
+    def test_literals(self):
+        assert infer_type(CLit(1)) is ItemType.NUMERIC
+        assert infer_type(CLit("x")) is ItemType.STRING
+        assert infer_type(CLit(True)) is ItemType.BOOLEAN
+        assert infer_type(CEmpty()) is ItemType.EMPTY
+
+    def test_steps_are_nodes(self):
+        d = fresh_var("d", origin="external")
+        assert infer_type(step(Axis.CHILD, "a", CVar(d))) is ItemType.NODES
+
+    def test_functions(self):
+        assert infer_type(CCall("fn:count", [CEmpty()])) is ItemType.NUMERIC
+        assert infer_type(CCall("fn:boolean", [CEmpty()])) is ItemType.BOOLEAN
+        assert infer_type(CCall("fn:mystery", [])) is ItemType.ANY
+
+    def test_let_propagates(self):
+        x = fresh_var("x")
+        expr = CLet(x, CLit(1), CVar(x))
+        assert infer_type(expr) is ItemType.NUMERIC
+
+    def test_for_body_type(self):
+        d = fresh_var("d", origin="external")
+        x = fresh_var("x")
+        loop = CFor(x, None, step(Axis.CHILD, "a", CVar(d)), None,
+                    CCall("fn:count", [CVar(x)]))
+        assert infer_type(loop) is ItemType.NUMERIC
+
+    def test_unknown_user_variable_any(self):
+        assert infer_type(CVar(fresh_var("u"))) is ItemType.ANY
+
+    def test_union_type(self):
+        assert ItemType.NUMERIC.union(ItemType.NUMERIC) is ItemType.NUMERIC
+        assert ItemType.NUMERIC.union(ItemType.STRING) is ItemType.ANY
+        assert ItemType.EMPTY.union(ItemType.NODES) is ItemType.NODES

@@ -1,0 +1,71 @@
+"""The TPNF' recognizer: the rewriting pipeline's contract.
+
+For every query in the tree-pattern fragment, the rewritten core must
+be recognized as TPNF' **and** the optimizer must then find exactly one
+``TupleTreePattern`` — the Section 4.2 completeness claim ("the set of
+rewrites presented here always finds the largest tree pattern within
+the supported XQuery fragment"), tested operationally.
+"""
+
+import pytest
+
+from repro import Engine
+from repro.rewrite import check_tpnf
+
+ENGINE = Engine.from_xml("<a/>")
+
+IN_FRAGMENT = [
+    "$d//person/name",
+    "$d//person[emailaddress]/name",
+    "$d/site/people/person",
+    "$input/site/people/person[emailaddress]/profile/interest",
+    "(for $x in $d//person[emailaddress] return $x)/name",
+    "let $x := (for $y in $d//person where $y/emailaddress return $y) "
+    "return $x/name",
+    "$d//a[b[c[d]]]",
+    "$d//a[b][c]/d",
+    "$d//person/@id",
+]
+
+OUTSIDE_FRAGMENT = [
+    ("$d//person[1]/name", "position"),
+    ('$d//person[name = "John"]', "comparison"),
+    ("$d//person[count(name) = 2]", "comparison"),
+    ("count($d//person)", "function call"),
+    ("$d//name/parent::person", "reverse axis"),
+    ("for $x at $i in $d//a where $i = 1 return $x",
+     "positional variable"),
+]
+
+
+class TestFragmentMembership:
+    @pytest.mark.parametrize("query", IN_FRAGMENT)
+    def test_in_fragment_recognized(self, query):
+        report = check_tpnf(ENGINE.compile(query).tpnf)
+        assert report, (query, report.reasons)
+
+    @pytest.mark.parametrize("query,_", OUTSIDE_FRAGMENT,
+                             ids=[reason for _, reason in OUTSIDE_FRAGMENT])
+    def test_outside_fragment_rejected(self, query, _):
+        report = check_tpnf(ENGINE.compile(query).tpnf)
+        assert not report
+        assert report.reasons
+
+
+class TestCompletenessContract:
+    """TPNF' membership ⟹ the optimizer detects a single pattern."""
+
+    @pytest.mark.parametrize("query", IN_FRAGMENT)
+    def test_single_pattern_for_fragment_members(self, query):
+        compiled = ENGINE.compile(query)
+        if check_tpnf(compiled.tpnf):
+            assert compiled.tree_pattern_count() == 1, query
+
+    def test_reasons_name_the_obstacle(self):
+        report = check_tpnf(
+            ENGINE.compile('$d//person[name = "x"]').tpnf)
+        assert any("CGenCmp" in reason for reason in report.reasons)
+
+    def test_positional_reported(self):
+        report = check_tpnf(ENGINE.compile("$d//a[2]").tpnf)
+        assert not report

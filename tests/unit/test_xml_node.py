@@ -1,0 +1,123 @@
+"""Region encoding and node-level invariants."""
+
+from repro.xmltree import (AttributeNode, DocumentNode, ElementNode,
+                           TextNode, assign_regions, parse_xml)
+
+
+def build_sample():
+    doc = DocumentNode()
+    root = ElementNode("a")
+    doc.append_child(root)
+    b = ElementNode("b")
+    b.set_attribute("id", "1")
+    root.append_child(b)
+    b.append_child(TextNode("hello"))
+    c = ElementNode("c")
+    root.append_child(c)
+    assign_regions(doc)
+    return doc, root, b, c
+
+
+class TestRegionEncoding:
+    def test_pre_orders_document(self):
+        doc, root, b, c = build_sample()
+        assert doc.pre == 0
+        assert root.pre == 1
+        assert b.pre == 2
+        # attribute numbered right after its owner element
+        assert b.attributes[0].pre == 3
+        assert c.pre > b.attributes[0].pre
+
+    def test_end_covers_subtree(self):
+        doc, root, b, c = build_sample()
+        assert root.end == c.pre
+        assert doc.end == c.pre
+        assert b.end >= b.attributes[0].pre
+
+    def test_levels(self):
+        doc, root, b, c = build_sample()
+        assert doc.level == 0
+        assert root.level == 1
+        assert b.level == 2
+        assert b.attributes[0].level == 3
+        assert c.level == 2
+
+    def test_contains(self):
+        doc, root, b, c = build_sample()
+        assert root.contains(b)
+        assert root.contains(c)
+        assert doc.contains(root)
+        assert not b.contains(c)
+        assert not b.contains(b)
+        assert b.contains_or_self(b)
+
+    def test_ancestor_descendant_symmetry(self):
+        doc, root, b, c = build_sample()
+        assert b.is_descendant_of(root)
+        assert root.is_ancestor_of(b)
+        assert not root.is_descendant_of(b)
+
+    def test_post_order_property(self):
+        # post(ancestor) > post(descendant) for element ancestors
+        doc = parse_xml("<a><b><c/></b><d/></a>")
+        a = doc.document_element
+        b = a.children[0]
+        c = b.children[0]
+        assert a.post > b.post > c.post
+
+    def test_deep_tree_no_recursion_error(self):
+        doc = DocumentNode()
+        node = ElementNode("n")
+        doc.append_child(node)
+        for _ in range(5000):
+            child = ElementNode("n")
+            node.append_child(child)
+            node = child
+        count = assign_regions(doc)
+        assert count == 5002
+        assert node.level == 5001
+
+
+class TestNodeContent:
+    def test_string_value_concatenates_text(self):
+        doc = parse_xml("<a>x<b>y</b>z</a>")
+        assert doc.document_element.string_value() == "xyz"
+        assert doc.string_value() == "xyz"
+
+    def test_attribute_string_value(self):
+        doc = parse_xml('<a id="42"/>')
+        attr = doc.document_element.attributes[0]
+        assert attr.string_value() == "42"
+        assert attr.name == "id"
+
+    def test_get_attribute(self):
+        doc = parse_xml('<a id="42" x="y"/>')
+        element = doc.document_element
+        assert element.get_attribute("id") == "42"
+        assert element.get_attribute("x") == "y"
+        assert element.get_attribute("missing") is None
+
+    def test_root(self):
+        doc = parse_xml("<a><b><c/></b></a>")
+        c = doc.document_element.children[0].children[0]
+        assert c.root() is doc
+
+    def test_iter_descendants_in_document_order(self):
+        doc = parse_xml("<a><b><c/></b><d/></a>")
+        names = [node.name for node in doc.document_element.iter_descendants()
+                 if node.name]
+        assert names == ["b", "c", "d"]
+
+    def test_iter_ancestors(self):
+        doc = parse_xml("<a><b><c/></b></a>")
+        c = doc.document_element.children[0].children[0]
+        names = [getattr(node, "name", None) for node in c.iter_ancestors()]
+        assert names == ["b", "a", None]
+
+    def test_kinds(self):
+        doc = parse_xml('<a id="1">t</a>')
+        element = doc.document_element
+        assert doc.kind == "document"
+        assert element.kind == "element"
+        assert element.attributes[0].kind == "attribute"
+        assert element.children[0].kind == "text"

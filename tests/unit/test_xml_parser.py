@@ -1,0 +1,120 @@
+"""XML parser behaviour, including error handling."""
+
+import pytest
+
+from repro.xmltree import XMLSyntaxError, parse_xml, serialize
+from repro.xmltree.node import ElementNode, TextNode
+
+
+class TestWellFormed:
+    def test_minimal(self):
+        doc = parse_xml("<a/>")
+        assert doc.document_element.name == "a"
+        assert doc.document_element.children == []
+
+    def test_nested_elements(self):
+        doc = parse_xml("<a><b/><c><d/></c></a>")
+        root = doc.document_element
+        assert [child.name for child in root.children] == ["b", "c"]
+        assert root.children[1].children[0].name == "d"
+
+    def test_attributes(self):
+        doc = parse_xml("<a x='1' y=\"two\"/>")
+        root = doc.document_element
+        assert root.get_attribute("x") == "1"
+        assert root.get_attribute("y") == "two"
+
+    def test_text_content(self):
+        doc = parse_xml("<a>hello <b>world</b>!</a>")
+        root = doc.document_element
+        assert isinstance(root.children[0], TextNode)
+        assert root.string_value() == "hello world!"
+
+    def test_predefined_entities(self):
+        doc = parse_xml("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.document_element.string_value() == "<>&'\""
+
+    def test_numeric_entities(self):
+        doc = parse_xml("<a>&#65;&#x42;</a>")
+        assert doc.document_element.string_value() == "AB"
+
+    def test_entities_in_attributes(self):
+        doc = parse_xml('<a x="&lt;tag&gt;"/>')
+        assert doc.document_element.get_attribute("x") == "<tag>"
+
+    def test_cdata(self):
+        doc = parse_xml("<a><![CDATA[<not><parsed>&amp;]]></a>")
+        assert doc.document_element.string_value() == "<not><parsed>&amp;"
+
+    def test_comments_skipped(self):
+        doc = parse_xml("<!-- lead --><a><!-- inner -->x</a><!-- tail -->")
+        assert doc.document_element.string_value() == "x"
+
+    def test_processing_instructions_skipped(self):
+        doc = parse_xml("<?xml version='1.0'?><a><?pi data?>x</a>")
+        assert doc.document_element.string_value() == "x"
+
+    def test_doctype_skipped(self):
+        doc = parse_xml("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>")
+        assert doc.document_element.name == "a"
+
+    def test_prefixed_names(self):
+        doc = parse_xml('<ns:a ns:x="1"><ns:b/></ns:a>')
+        assert doc.document_element.name == "ns:a"
+        assert doc.document_element.get_attribute("ns:x") == "1"
+
+    def test_whitespace_preserved(self):
+        doc = parse_xml("<a> <b/> </a>")
+        texts = [child for child in doc.document_element.children
+                 if isinstance(child, TextNode)]
+        assert [t.text for t in texts] == [" ", " "]
+
+    def test_names_with_dots_and_dashes(self):
+        doc = parse_xml("<a-b.c_d><e-1/></a-b.c_d>")
+        assert doc.document_element.name == "a-b.c_d"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "<a>",
+        "<a></b>",
+        "<a",
+        "<a x=1/>",
+        "<a x='1' x='2'/>",
+        "<a/><b/>",
+        "<a>&unknown;</a>",
+        "<a><![CDATA[oops</a>",
+        "<!-- unterminated <a/>",
+        "text only",
+    ])
+    def test_malformed_raises(self, text):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as info:
+            parse_xml("<a></b>")
+        assert info.value.position > 0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "<a/>",
+        "<a><b/><c/></a>",
+        '<a x="1"><b y="2">t</b></a>',
+        "<a>x<b>y</b>z</a>",
+        "<a>&lt;escaped&gt;</a>",
+    ])
+    def test_parse_serialize_parse(self, text):
+        doc = parse_xml(text)
+        text2 = serialize(doc)
+        doc2 = parse_xml(text2)
+        assert serialize(doc2) == text2
+
+    def test_region_numbering_assigned(self):
+        doc = parse_xml("<a><b/><c/></a>")
+        nodes = list(doc.iter_descendants_or_self())
+        pres = [node.pre for node in nodes]
+        assert pres == sorted(pres)
+        assert pres[0] == 0

@@ -1,0 +1,238 @@
+"""XQuery surface parser: shapes, precedence, contextual keywords."""
+
+import pytest
+
+from repro.xmltree.axes import Axis
+from repro.xmltree.nodetest import AnyKindTest, NameTest, WildcardTest
+from repro.xquery import ast, parse_query
+from repro.xquery.lexer import XQuerySyntaxError
+
+
+class TestPaths:
+    def test_simple_relative_step(self):
+        expr = parse_query("person")
+        assert isinstance(expr, ast.AxisStep)
+        assert expr.axis is Axis.CHILD
+        assert expr.test == NameTest("person")
+
+    def test_axis_syntax(self):
+        expr = parse_query("descendant::person")
+        assert expr.axis is Axis.DESCENDANT
+
+    def test_axis_aliases(self):
+        assert parse_query("desc::a").axis is Axis.DESCENDANT
+        assert parse_query("dos::node()").axis is Axis.DESCENDANT_OR_SELF
+
+    def test_attribute_abbreviation(self):
+        expr = parse_query("@id")
+        assert expr.axis is Axis.ATTRIBUTE
+        assert expr.test == NameTest("id")
+
+    def test_parent_abbreviation(self):
+        expr = parse_query("..")
+        assert expr.axis is Axis.PARENT
+        assert isinstance(expr.test, AnyKindTest)
+
+    def test_wildcard(self):
+        expr = parse_query("*")
+        assert isinstance(expr.test, WildcardTest)
+
+    def test_kind_tests(self):
+        assert isinstance(parse_query("node()").test, AnyKindTest)
+        assert parse_query("text()").test.to_string() == "text()"
+
+    def test_binary_path(self):
+        expr = parse_query("$d/person/name")
+        assert isinstance(expr, ast.PathExpr)
+        assert isinstance(expr.right, ast.AxisStep)
+        assert isinstance(expr.left, ast.PathExpr)
+        assert isinstance(expr.left.left, ast.VarRef)
+
+    def test_double_slash_expands(self):
+        expr = parse_query("$d//person")
+        # $d/descendant-or-self::node()/child::person
+        assert isinstance(expr, ast.PathExpr)
+        dos = expr.left.right
+        assert dos.axis is Axis.DESCENDANT_OR_SELF
+        assert isinstance(dos.test, AnyKindTest)
+
+    def test_absolute_path(self):
+        expr = parse_query("/site/people")
+        assert isinstance(expr, ast.PathExpr)
+        root = expr.left.left
+        assert isinstance(root, ast.RootExpr)
+
+    def test_bare_root(self):
+        assert isinstance(parse_query("/"), ast.RootExpr)
+
+    def test_leading_double_slash(self):
+        expr = parse_query("//person")
+        assert isinstance(expr, ast.PathExpr)
+        assert isinstance(expr.left.left, ast.RootExpr)
+
+    def test_predicates_attach_to_step(self):
+        expr = parse_query("person[emailaddress][name]")
+        assert isinstance(expr, ast.AxisStep)
+        assert len(expr.predicates) == 2
+
+    def test_filter_expr_on_variable(self):
+        expr = parse_query("$x[1]")
+        assert isinstance(expr, ast.FilterExpr)
+        assert isinstance(expr.primary, ast.VarRef)
+
+    def test_parenthesized_path_continuation(self):
+        expr = parse_query("(/t1[1])/t1[1]")
+        assert isinstance(expr, ast.PathExpr)
+
+    def test_context_item(self):
+        assert isinstance(parse_query("."), ast.ContextItem)
+
+    def test_keywords_usable_as_element_names(self):
+        expr = parse_query("$d/for/return")
+        assert expr.right.test == NameTest("return")
+        assert expr.left.right.test == NameTest("for")
+
+
+class TestFLWOR:
+    def test_single_for(self):
+        expr = parse_query("for $x in $d/person return $x")
+        assert isinstance(expr, ast.FLWORExpr)
+        assert len(expr.clauses) == 1
+        clause = expr.clauses[0]
+        assert isinstance(clause, ast.ForClause)
+        assert clause.var == "x"
+        assert clause.position_var is None
+
+    def test_for_with_at(self):
+        expr = parse_query("for $x at $i in $d/a return $i")
+        assert expr.clauses[0].position_var == "i"
+
+    def test_multi_variable_for(self):
+        expr = parse_query(
+            "for $x in $d/site, $y in $x/people return $y")
+        assert len(expr.clauses) == 2
+        assert all(isinstance(c, ast.ForClause) for c in expr.clauses)
+
+    def test_let(self):
+        expr = parse_query("let $x := 1 return $x")
+        assert isinstance(expr.clauses[0], ast.LetClause)
+
+    def test_where(self):
+        expr = parse_query("for $x in $d/a where $x/b return $x")
+        assert isinstance(expr.clauses[1], ast.WhereClause)
+
+    def test_mixed_clauses(self):
+        expr = parse_query(
+            "for $x in $d/a let $y := $x/b where $y return $y")
+        kinds = [type(c).__name__ for c in expr.clauses]
+        assert kinds == ["ForClause", "LetClause", "WhereClause"]
+
+    def test_missing_return_raises(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("for $x in $d/a")
+
+
+class TestOperators:
+    def test_comparison(self):
+        expr = parse_query("$x = 1")
+        assert isinstance(expr, ast.BinaryExpr)
+        assert expr.op == "="
+
+    def test_all_comparisons(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            expr = parse_query(f"1 {op} 2")
+            assert expr.op == op
+
+    def test_and_or_precedence(self):
+        expr = parse_query("$a = 1 and $b = 2 or $c = 3")
+        assert expr.op == "or"
+        assert expr.left.op == "and"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_query("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_div_mod(self):
+        assert parse_query("4 div 2").op == "div"
+        assert parse_query("4 mod 2").op == "mod"
+
+    def test_range(self):
+        expr = parse_query("1 to 5")
+        assert expr.op == "to"
+
+    def test_union(self):
+        expr = parse_query("$a/b | $a/c")
+        assert expr.op == "|"
+
+    def test_unary_minus(self):
+        expr = parse_query("-1")
+        assert isinstance(expr, ast.UnaryExpr)
+
+    def test_comparison_of_paths(self):
+        expr = parse_query('$d/person/name = "John"')
+        assert expr.op == "="
+        assert isinstance(expr.left, ast.PathExpr)
+
+
+class TestOtherExpressions:
+    def test_if(self):
+        expr = parse_query("if ($x) then 1 else 2")
+        assert isinstance(expr, ast.IfExpr)
+
+    def test_quantified(self):
+        expr = parse_query("some $x in $d/a satisfies $x = 1")
+        assert isinstance(expr, ast.QuantifiedExpr)
+        assert expr.quantifier == "some"
+
+    def test_function_call(self):
+        expr = parse_query("count($d/person)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "count"
+        assert len(expr.args) == 1
+
+    def test_prefixed_function(self):
+        expr = parse_query("fn:boolean($x)")
+        assert expr.name == "fn:boolean"
+
+    def test_sequence(self):
+        expr = parse_query("1, 2, 3")
+        assert isinstance(expr, ast.SequenceExpr)
+        assert len(expr.items) == 3
+
+    def test_empty_sequence(self):
+        expr = parse_query("()")
+        assert isinstance(expr, ast.SequenceExpr)
+        assert expr.items == []
+
+    def test_string_literals(self):
+        assert parse_query('"abc"').value == "abc"
+        assert parse_query("'abc'").value == "abc"
+
+    def test_numeric_literals(self):
+        assert parse_query("42").value == 42
+        assert parse_query("3.5").value == 3.5
+
+    def test_to_string_round_trip(self):
+        for text in ("$d//person[emailaddress]/name",
+                     "for $x in $d/a where $x/b return $x/c",
+                     "if ($x = 1) then $a else $b"):
+            expr = parse_query(text)
+            reparsed = parse_query(expr.to_string())
+            assert reparsed.to_string() == expr.to_string()
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "$d/",
+        "for $x in",
+        "1 +",
+        "(1",
+        "$d[",
+        "if ($x) then 1",
+        "let $x = 1 return $x",
+    ])
+    def test_raises(self, text):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query(text)
