@@ -15,14 +15,18 @@ Quickstart::
 """
 
 from .engine import CompiledQuery, Engine, execute_query, xpath
+from .obs import (CacheStats, ExecMetrics, PipelineMetrics, PlanCache,
+                  TracedRun)
 from .pattern import TreePattern, parse_pattern
 from .physical import NLJoin, StaircaseJoin, Strategy, TwigJoin
 from .xmltree import IndexedDocument, parse_xml, serialize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledQuery", "Engine", "execute_query", "xpath",
+    "CacheStats", "ExecMetrics", "PipelineMetrics", "PlanCache",
+    "TracedRun",
     "TreePattern", "parse_pattern",
     "NLJoin", "StaircaseJoin", "Strategy", "TwigJoin",
     "IndexedDocument", "parse_xml", "serialize",

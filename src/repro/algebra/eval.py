@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import ExecMetrics
 from ..pattern import TreePattern
 from ..physical.base import TreePatternAlgorithm
 from ..xmltree.axes import step as axis_step
@@ -44,6 +45,9 @@ class EvalContext:
     globals: Dict[Var, Sequence_] = field(default_factory=dict)
     variables: Dict[Var, Sequence_] = field(default_factory=dict)
     tuple_stack: List[Tuple_] = field(default_factory=list)
+    #: when set, the evaluator counts operator evaluations and
+    #: items/tuples produced into it (see :mod:`repro.obs`).
+    metrics: Optional[ExecMetrics] = None
 
     def lookup_var(self, var: Var) -> Sequence_:
         if var in self.variables:
@@ -67,6 +71,16 @@ def evaluate_plan(plan: Plan, context: EvalContext):
 
 
 def eval_item(plan: ItemPlan, ctx: EvalContext) -> Sequence_:
+    metrics = ctx.metrics
+    if metrics is None:
+        return _eval_item(plan, ctx)
+    metrics.operator_evals[type(plan).__name__] += 1
+    result = _eval_item(plan, ctx)
+    metrics.items_produced += len(result)
+    return result
+
+
+def _eval_item(plan: ItemPlan, ctx: EvalContext) -> Sequence_:
     if isinstance(plan, Const):
         return list(plan.values)
     if isinstance(plan, VarPlan):
@@ -166,6 +180,16 @@ def _with_binding(ctx: EvalContext, var: Var, value: Sequence_,
 
 
 def eval_tuples(plan: TuplePlan, ctx: EvalContext) -> List[Tuple_]:
+    metrics = ctx.metrics
+    if metrics is None:
+        return _eval_tuples(plan, ctx)
+    metrics.operator_evals[type(plan).__name__] += 1
+    result = _eval_tuples(plan, ctx)
+    metrics.tuples_produced += len(result)
+    return result
+
+
+def _eval_tuples(plan: TuplePlan, ctx: EvalContext) -> List[Tuple_]:
     if isinstance(plan, InputTuple):
         if not ctx.tuple_stack:
             raise DynamicError("IN used outside a dependent plan")

@@ -2,14 +2,16 @@
 
 from .harness import (Measurement, QE_QUERIES, STRATEGIES, STRATEGY_LABELS,
                       TABLE1_BASE_NODE_COUNTS, TABLE1_SIZE_LABELS,
-                      geometric_mean, render_table, scale, scaled,
-                      table1_node_counts, time_call)
+                      geometric_mean, measure_strategy, render_measurements,
+                      render_table, scale, scaled, table1_node_counts,
+                      time_call)
 from .variants import BASE_QUERY, generate_variants
 from .xmark_queries import XMARK_CATALOG, CatalogQuery, catalog_queries
 
 __all__ = [
     "Measurement", "QE_QUERIES", "STRATEGIES", "STRATEGY_LABELS",
     "TABLE1_BASE_NODE_COUNTS", "TABLE1_SIZE_LABELS", "geometric_mean",
+    "measure_strategy", "render_measurements",
     "render_table", "scale", "scaled", "table1_node_counts", "time_call",
     "BASE_QUERY", "generate_variants",
     "XMARK_CATALOG", "CatalogQuery", "catalog_queries",

@@ -13,10 +13,13 @@ every workload, e.g. ``REPRO_SCALE=10`` approximates the paper's sizes.
 
 from __future__ import annotations
 
+import math
 import os
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..obs import ExecMetrics
 
 #: the paper's Figure 5 queries, verbatim modulo the ``$input`` variable.
 QE_QUERIES: Dict[str, str] = {
@@ -54,11 +57,13 @@ def table1_node_counts() -> List[int]:
 
 @dataclass
 class Measurement:
-    """One timed cell of a result table."""
+    """One timed cell of a result table, optionally with the execution
+    counters observed during the timed runs (see :mod:`repro.obs`)."""
 
     label: str
     seconds: float
     result_count: int = -1
+    metrics: Optional[ExecMetrics] = None
 
 
 def time_call(func: Callable[[], object], repeats: int = 3) -> float:
@@ -69,6 +74,47 @@ def time_call(func: Callable[[], object], repeats: int = 3) -> float:
         func()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def measure_strategy(engine, compiled, strategy: str,
+                     repeats: int = 3) -> Measurement:
+    """Best-of-N timing of one strategy on one compiled query, with the
+    counters of a single (separately run, untimed) instrumented pass —
+    so tables can show *why* an algorithm wins, not just that it does."""
+    seconds = time_call(
+        lambda: engine.execute(compiled, strategy=strategy), repeats)
+    metrics = ExecMetrics()
+    result = engine.execute(compiled, strategy=strategy, metrics=metrics)
+    return Measurement(label=strategy, seconds=seconds,
+                       result_count=len(result), metrics=metrics)
+
+
+def render_measurements(title: str,
+                        rows: "Dict[str, List[Measurement]]") -> str:
+    """Render measurements as a table of seconds *and* work counters.
+
+    ``rows`` maps a row label (e.g. a query name) to one measurement per
+    strategy.  Each cell shows seconds with visited/scanned counts, so a
+    benchmark table explains the winner by the work each algorithm did.
+    """
+    lines = [title]
+    header = None
+    for row_label, measurements in rows.items():
+        if header is None:
+            header = " " * 8 + "".join(m.label.rjust(26)
+                                       for m in measurements)
+            lines.append(header)
+        parts = [row_label.ljust(8)]
+        for measurement in measurements:
+            cell = f"{measurement.seconds:.5f}s"
+            metrics = measurement.metrics
+            if metrics is not None:
+                visited = sum(metrics.nodes_visited.values())
+                scanned = sum(metrics.stream_scanned.values())
+                cell += f" v={visited} s={scanned}"
+            parts.append(cell.rjust(26))
+        lines.append("".join(parts))
+    return "\n".join(lines)
 
 
 def render_table(title: str, row_labels: Sequence[str],
@@ -115,10 +161,14 @@ def render_table(title: str, row_labels: Sequence[str],
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    values = list(values)
-    if not values:
+    """Geometric mean via a log-sum, so long series of very small (or
+    very large) timings cannot underflow/overflow a running product.
+
+    Non-positive values have no geometric mean and are skipped (timings
+    are positive; a zero would otherwise collapse the whole series).
+    """
+    positive = [value for value in values if value > 0.0]
+    if not positive:
         return 0.0
-    product = 1.0
-    for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+    return math.exp(sum(math.log(value) for value in positive)
+                    / len(positive))

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 from . import __version__
@@ -60,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the positional-pattern extension")
     query.add_argument("--format", choices=["text", "xml"], default="text",
                        help="result rendering (default: text values)")
+    query.add_argument("--metrics", action="store_true",
+                       help="print stage timings, execution counters and "
+                            "plan-cache statistics after the results")
 
     explain = commands.add_parser(
         "explain", help="show every compilation stage for a query")
@@ -67,12 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("expression")
     explain.add_argument("--positional", action="store_true",
                          help="enable the positional-pattern extension")
+    explain.add_argument("--metrics", action="store_true",
+                         help="include per-stage compile timings")
 
     compare = commands.add_parser(
         "compare", help="time every strategy on one query")
     _add_document_options(compare)
     compare.add_argument("expression")
     compare.add_argument("--repeats", type=int, default=3)
+    compare.add_argument("--metrics", action="store_true",
+                         help="show work counters (nodes visited, stream "
+                              "elements scanned) next to the timings")
 
     visualize = commands.add_parser(
         "visualize", help="emit Graphviz DOT for a query's plan/patterns")
@@ -121,6 +128,14 @@ def _render_item(item, as_xml: bool) -> str:
 
 def _command_query(args, out) -> int:
     engine = _load_engine(args)
+    if args.metrics:
+        traced = engine.run_traced(args.expression, strategy=args.strategy,
+                                   optimize=not args.no_optimize)
+        for item in traced.results:
+            print(_render_item(item, args.format == "xml"), file=out)
+        print(file=out)
+        print(traced.report(), file=out)
+        return 0
     result = engine.run(args.expression, strategy=args.strategy,
                         optimize=not args.no_optimize)
     for item in result:
@@ -131,7 +146,7 @@ def _command_query(args, out) -> int:
 def _command_explain(args, out) -> int:
     engine = _load_engine(args)
     compiled = engine.compile(args.expression)
-    print(compiled.explain(), file=out)
+    print(compiled.explain(metrics=args.metrics), file=out)
     print(file=out)
     print(f"tree patterns detected: {compiled.tree_pattern_count()}",
           file=out)
@@ -141,24 +156,34 @@ def _command_explain(args, out) -> int:
 
 
 def _command_compare(args, out) -> int:
+    from .bench import measure_strategy
     engine = _load_engine(args)
     compiled = engine.compile(args.expression)
     reference: Optional[list] = None
     print(f"query: {args.expression}", file=out)
     print(f"tree patterns: {compiled.tree_pattern_count()}", file=out)
-    for strategy in ("nljoin", "twigjoin", "scjoin", "streaming", "cost"):
-        best = float("inf")
-        result: list = []
-        for _ in range(max(args.repeats, 1)):
-            start = time.perf_counter()
-            result = engine.execute(compiled, strategy=strategy)
-            best = min(best, time.perf_counter() - start)
+    for strategy in ("nljoin", "twigjoin", "scjoin", "stacktree",
+                     "streaming", "auto", "cost"):
+        measurement = measure_strategy(engine, compiled, strategy,
+                                       repeats=max(args.repeats, 1))
+        result = engine.execute(compiled, strategy=strategy)
         keys = [getattr(item, "pre", item) for item in result]
         if reference is None:
             reference = keys
         status = "ok" if keys == reference else "MISMATCH"
-        print(f"  {strategy:>9}: {best * 1000:9.3f} ms  "
-              f"({len(result)} items, {status})", file=out)
+        line = (f"  {strategy:>9}: {measurement.seconds * 1000:9.3f} ms  "
+                f"({measurement.result_count} items, {status})")
+        metrics = measurement.metrics
+        if args.metrics and metrics is not None:
+            line += (f"  visited={sum(metrics.nodes_visited.values())}"
+                     f" scanned={sum(metrics.stream_scanned.values())}"
+                     f" pushes={sum(metrics.stack_pushes.values())}")
+            if metrics.decision_counts:
+                choices = ",".join(
+                    f"{name}:{count}" for name, count
+                    in sorted(metrics.decision_counts.items()))
+                line += f" decisions={choices}"
+        print(line, file=out)
     return 0
 
 

@@ -19,13 +19,15 @@ physical algorithm choice at execution time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import time
+from dataclasses import astuple, dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .algebra import (EvalContext, ItemPlan, TupleTreePattern, compile_core,
                       count_operators, eval_item, optimize_plan,
                       plan_canonical, plan_to_string)
 from .algebra.optimizer import OptimizerOptions
+from .obs import ExecMetrics, PipelineMetrics, PlanCache, TracedRun
 from .pattern import TreePattern
 from .physical import Strategy, TreePatternAlgorithm, make_algorithm
 from .rewrite import RewriteOptions, RewriteTrace, rewrite_to_tpnf
@@ -50,6 +52,8 @@ class CompiledQuery:
     #: per-pass snapshots of the core rewriting, when compiled with
     #: ``trace=True``.
     rewrite_trace: Optional[RewriteTrace] = None
+    #: wall-clock seconds per compilation stage (see :mod:`repro.obs`).
+    pipeline_metrics: Optional[PipelineMetrics] = None
 
     @property
     def core(self) -> CExpr:
@@ -69,8 +73,13 @@ class CompiledQuery:
         syntactic variants, as in the paper's Section 5.1)."""
         return plan_canonical(self.optimized)
 
-    def explain(self) -> str:
-        """A report showing every compilation stage."""
+    def explain(self, metrics: bool = False) -> str:
+        """A report showing every compilation stage.
+
+        With ``metrics=True`` (and when the query was compiled through
+        an :class:`Engine`, which records them) the report ends with the
+        per-stage wall-clock timings.
+        """
         sections = [
             ("Query", self.text),
             ("Normalized core (Section 2)", pretty(self.core)),
@@ -79,6 +88,8 @@ class CompiledQuery:
             ("Optimized plan with tree patterns (Section 4.2)",
              plan_to_string(self.optimized)),
         ]
+        if metrics and self.pipeline_metrics is not None:
+            sections.append(("Stage timings", self.pipeline_metrics.report()))
         blocks = []
         for title, body in sections:
             bar = "=" * len(title)
@@ -92,11 +103,14 @@ class Engine:
     def __init__(self, document: IndexedDocument,
                  rewrite_options: Optional[RewriteOptions] = None,
                  optimizer_options: Optional[OptimizerOptions] = None,
-                 default_strategy: Strategy | str = Strategy.STAIRCASE) -> None:
+                 default_strategy: Strategy | str = Strategy.STAIRCASE,
+                 plan_cache_size: int = 64) -> None:
         self.document = document
         self.rewrite_options = rewrite_options or RewriteOptions()
         self.optimizer_options = optimizer_options or OptimizerOptions()
         self.default_strategy = Strategy(default_strategy)
+        #: LRU of compiled plans; ``plan_cache_size=0`` disables caching.
+        self.plan_cache = PlanCache(plan_cache_size)
 
     # -- construction ---------------------------------------------------------
 
@@ -112,45 +126,82 @@ class Engine:
     # -- compilation ------------------------------------------------------------
 
     def compile(self, query: str, optimize: bool = True,
-                trace: bool = False) -> CompiledQuery:
+                trace: bool = False, use_cache: bool = True) -> CompiledQuery:
         """Run the full compilation pipeline on a query string.
+
+        Results are cached in :attr:`plan_cache` keyed by
+        ``(query, optimize, options)``, so repeated compiles of the same
+        query return the same :class:`CompiledQuery` object; pass
+        ``use_cache=False`` to force recompilation.  Per-stage wall
+        times are recorded on the result's ``pipeline_metrics``.
 
         With ``trace=True`` the result carries a
         :class:`~repro.rewrite.RewriteTrace` recording the core
-        expression after each rewriting pass that changed it.
+        expression after each rewriting pass that changed it (traced
+        compiles bypass the cache).
         """
-        surface = resolve_abbreviations(parse_query(query))
-        normalized = normalize_query(surface)
+        cacheable = use_cache and not trace
+        key = self._cache_key(query, optimize)
+        if cacheable:
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                return cached
+        metrics = PipelineMetrics()
+        with metrics.stage("parse"):
+            surface = resolve_abbreviations(parse_query(query))
+        with metrics.stage("normalize"):
+            normalized = normalize_query(surface)
         rewrite_trace = RewriteTrace() if trace else None
-        if optimize:
-            tpnf = rewrite_to_tpnf(normalized.core,
-                                   options=self.rewrite_options,
-                                   trace=rewrite_trace)
-        else:
-            tpnf = normalized.core
-        plan = compile_core(tpnf)
-        if optimize:
-            optimized = optimize_plan(plan, options=self.optimizer_options)
-        else:
-            optimized = plan
-        return CompiledQuery(text=query, surface=surface,
-                             normalized=normalized, tpnf=tpnf, plan=plan,
-                             optimized=optimized,
-                             rewrite_trace=rewrite_trace)
+        with metrics.stage("rewrite"):
+            if optimize:
+                tpnf = rewrite_to_tpnf(normalized.core,
+                                       options=self.rewrite_options,
+                                       trace=rewrite_trace)
+            else:
+                tpnf = normalized.core
+        with metrics.stage("compile"):
+            plan = compile_core(tpnf)
+        with metrics.stage("optimize"):
+            if optimize:
+                optimized = optimize_plan(plan,
+                                          options=self.optimizer_options)
+            else:
+                optimized = plan
+        compiled = CompiledQuery(text=query, surface=surface,
+                                 normalized=normalized, tpnf=tpnf, plan=plan,
+                                 optimized=optimized,
+                                 rewrite_trace=rewrite_trace,
+                                 pipeline_metrics=metrics)
+        if cacheable:
+            self.plan_cache.put(key, compiled)
+        return compiled
+
+    def _cache_key(self, query: str, optimize: bool) -> Tuple[Hashable, ...]:
+        """Plan-cache key: the query text plus everything else that
+        shapes the compiled plan (options are read at call time, so
+        mutating them naturally keys new entries)."""
+        return (query, optimize, astuple(self.rewrite_options),
+                astuple(self.optimizer_options))
 
     # -- execution ---------------------------------------------------------------
 
     def execute(self, compiled: CompiledQuery,
                 strategy: Optional[Strategy | str] = None,
                 variables: Optional[Dict[str, Sequence]] = None,
-                optimized: bool = True) -> List:
+                optimized: bool = True,
+                metrics: Optional[ExecMetrics] = None) -> List:
         """Evaluate a compiled query and return the result sequence.
 
         Every free query variable (``$input``, ``$d``, …) that is not
         supplied in ``variables`` is bound to the document root, as is
         the initial context item for absolute paths.
+
+        When ``metrics`` is given, operator/algorithm counters for this
+        run are accumulated into it (see :class:`repro.obs.ExecMetrics`).
         """
         algorithm = self._algorithm(strategy)
+        if metrics is not None:
+            algorithm.attach_metrics(metrics)
         bindings: Dict[Var, List] = {}
         root = [self.document.root]
         for name, var in compiled.normalized.global_vars.items():
@@ -160,7 +211,7 @@ class Engine:
                 bindings[var] = list(root)
         bindings[compiled.normalized.context_var] = list(root)
         context = EvalContext(document=self.document, strategy=algorithm,
-                              globals=bindings)
+                              globals=bindings, metrics=metrics)
         plan = compiled.optimized if optimized else compiled.plan
         return eval_item(plan, context)
 
@@ -172,6 +223,35 @@ class Engine:
         compiled = self.compile(query, optimize=optimize)
         return self.execute(compiled, strategy=strategy,
                             variables=variables, optimized=optimize)
+
+    def run_traced(self, query: str,
+                   strategy: Optional[Strategy | str] = None,
+                   variables: Optional[Dict[str, Sequence]] = None,
+                   optimize: bool = True) -> TracedRun:
+        """Compile and evaluate with full observability.
+
+        Returns a :class:`repro.obs.TracedRun` carrying the result
+        sequence plus per-stage compile timings, execution counters
+        (operator evaluations, per-algorithm nodes visited / streams
+        scanned, chooser decisions) and plan-cache statistics.
+        """
+        stats = self.plan_cache.stats
+        hits_before = stats.hits
+        compiled = self.compile(query, optimize=optimize)
+        cache_hit = stats.hits > hits_before
+        metrics = ExecMetrics()
+        start = time.perf_counter()
+        results = self.execute(compiled, strategy=strategy,
+                               variables=variables, optimized=optimize,
+                               metrics=metrics)
+        wall = time.perf_counter() - start
+        chosen = Strategy(strategy) if strategy is not None \
+            else self.default_strategy
+        return TracedRun(results=results, strategy=str(chosen),
+                         wall_seconds=wall, metrics=metrics,
+                         pipeline=compiled.pipeline_metrics,
+                         cache=stats.snapshot(), cache_hit=cache_hit,
+                         compiled=compiled)
 
     def _algorithm(self,
                    strategy: Optional[Strategy | str]) -> TreePatternAlgorithm:

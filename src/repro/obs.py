@@ -1,0 +1,320 @@
+"""Execution observability: stage timings, operator counters, plan cache.
+
+The paper's conclusion — *"clearly, an accurate cost model is needed"* —
+presupposes visibility into what each physical algorithm actually does.
+This module provides that visibility for the whole stack:
+
+* :class:`PipelineMetrics` — wall-clock seconds per compilation stage
+  (parse → normalize → rewrite → compile → optimize), recorded by
+  :meth:`repro.engine.Engine.compile` and attached to every
+  :class:`~repro.engine.CompiledQuery`;
+* :class:`ExecMetrics` — runtime counters: algebra operator evaluations
+  and tuples/items produced (incremented by :mod:`repro.algebra.eval`),
+  per-algorithm nodes visited / stream elements scanned / stack pushes
+  (incremented by the :mod:`repro.physical` algorithms), and the
+  choosers' decisions — a bounded ring of recent
+  :class:`DecisionRecord`\\ s plus an unbounded tally, so long-running
+  engines never accumulate unbounded decision logs;
+* :class:`PlanCache` — an LRU of compiled plans keyed by
+  ``(query, optimize, options)`` with :class:`CacheStats` hit/miss/
+  eviction accounting, so repeated ``Engine.run()`` calls skip
+  recompilation;
+* :class:`TracedRun` — the bundle ``Engine.run_traced`` returns:
+  results plus all of the above.
+
+Counting discipline: the hot loops increment in *batches* (``+= len(...)``
+once per scan rather than once per node) and only when a metrics object
+is attached, so plain ``run()`` calls pay a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, OrderedDict, deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (Any, Deque, Dict, Hashable, Iterator, List, Optional,
+                    Tuple)
+
+__all__ = [
+    "CacheStats", "DecisionRecord", "ExecMetrics", "PipelineMetrics",
+    "PlanCache", "TracedRun", "DECISION_RING_SIZE", "PIPELINE_STAGES",
+]
+
+#: how many individual chooser decisions the ring retains.  The tally in
+#: :attr:`ExecMetrics.decision_counts` is exact and unbounded; the ring
+#: only bounds the per-decision *detail* log (chooser inputs).
+DECISION_RING_SIZE = 256
+
+#: the compilation stages, in pipeline order (paper Figure 2).
+PIPELINE_STAGES = ("parse", "normalize", "rewrite", "compile", "optimize")
+
+
+# -- compile-time metrics ------------------------------------------------------
+
+@dataclass
+class PipelineMetrics:
+    """Wall-clock seconds per compilation stage."""
+
+    stages: "OrderedDict[str, float]" = field(default_factory=OrderedDict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with``-block and record it under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stages[name] = self.stages.get(name, 0.0) + elapsed
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stages.values())
+
+    def to_dict(self) -> Dict[str, float]:
+        return dict(self.stages)
+
+    def report(self) -> str:
+        width = max((len(name) for name in self.stages), default=5)
+        lines = [f"{name.ljust(width)}  {seconds * 1e3:9.3f} ms"
+                 for name, seconds in self.stages.items()]
+        lines.append(f"{'total'.ljust(width)}  "
+                     f"{self.total_seconds * 1e3:9.3f} ms")
+        return "\n".join(lines)
+
+
+# -- run-time metrics ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One chooser decision, with the inputs that drove it."""
+
+    chooser: str                              # "auto" or "cost"
+    algorithm: str                            # the algorithm chosen
+    inputs: Tuple[Tuple[str, float], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"chooser": self.chooser, "algorithm": self.algorithm,
+                **dict(self.inputs)}
+
+
+@dataclass
+class ExecMetrics:
+    """Counters for one (or more) query executions.
+
+    All counters are monotonically non-decreasing and non-negative; the
+    per-algorithm counters are keyed by the algorithm's ``name``
+    (``nljoin``, ``twigjoin``, ``scjoin``, ``stacktree``, ``streaming``).
+    """
+
+    #: algebra operator evaluations, by plan operator class name.
+    operator_evals: Counter = field(default_factory=Counter)
+    #: items appended to item-plan results.
+    items_produced: int = 0
+    #: tuples appended to tuple-plan results.
+    tuples_produced: int = 0
+    #: ``TupleTreePattern`` pattern evaluations (one per input tuple).
+    pattern_evals: int = 0
+    #: nodes an algorithm examined, by algorithm name.
+    nodes_visited: Counter = field(default_factory=Counter)
+    #: index-stream elements read, by algorithm name.
+    stream_scanned: Counter = field(default_factory=Counter)
+    #: structural-join stack pushes, by algorithm name.
+    stack_pushes: Counter = field(default_factory=Counter)
+    #: chooser decisions, by chosen algorithm name (exact, unbounded).
+    decision_counts: Counter = field(default_factory=Counter)
+    #: the most recent decisions with their inputs (bounded ring).
+    decision_ring: Deque[DecisionRecord] = field(
+        default_factory=lambda: deque(maxlen=DECISION_RING_SIZE))
+
+    # -- recording --------------------------------------------------------
+
+    def record_decision(self, chooser: str, algorithm: str,
+                        **inputs: float) -> None:
+        self.decision_counts[algorithm] += 1
+        self.decision_ring.append(
+            DecisionRecord(chooser, algorithm,
+                           tuple(sorted(inputs.items()))))
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def decisions_total(self) -> int:
+        """Exact number of chooser decisions ever recorded."""
+        return sum(self.decision_counts.values())
+
+    def counters(self) -> Dict[str, int]:
+        """A flat ``name → count`` view of every counter (for assertions
+        and serialization); all values are non-negative by construction."""
+        flat: Dict[str, int] = {
+            "items_produced": self.items_produced,
+            "tuples_produced": self.tuples_produced,
+            "pattern_evals": self.pattern_evals,
+        }
+        for prefix, counter in (("operator", self.operator_evals),
+                                ("visited", self.nodes_visited),
+                                ("scanned", self.stream_scanned),
+                                ("pushes", self.stack_pushes),
+                                ("decision", self.decision_counts)):
+            for key, value in counter.items():
+                flat[f"{prefix}.{key}"] = value
+        return flat
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "operator_evals": dict(self.operator_evals),
+            "items_produced": self.items_produced,
+            "tuples_produced": self.tuples_produced,
+            "pattern_evals": self.pattern_evals,
+            "nodes_visited": dict(self.nodes_visited),
+            "stream_scanned": dict(self.stream_scanned),
+            "stack_pushes": dict(self.stack_pushes),
+            "decision_counts": dict(self.decision_counts),
+            "decisions": [record.to_dict()
+                          for record in self.decision_ring],
+        }
+
+    def merge(self, other: "ExecMetrics") -> "ExecMetrics":
+        """Fold another metrics object into this one (for aggregating
+        repeated runs); returns ``self``."""
+        self.operator_evals.update(other.operator_evals)
+        self.items_produced += other.items_produced
+        self.tuples_produced += other.tuples_produced
+        self.pattern_evals += other.pattern_evals
+        self.nodes_visited.update(other.nodes_visited)
+        self.stream_scanned.update(other.stream_scanned)
+        self.stack_pushes.update(other.stack_pushes)
+        self.decision_counts.update(other.decision_counts)
+        self.decision_ring.extend(other.decision_ring)
+        return self
+
+    def report(self) -> str:
+        lines = [
+            f"operator evaluations : {sum(self.operator_evals.values())}"
+            f"  ({_counter_text(self.operator_evals)})",
+            f"items produced       : {self.items_produced}",
+            f"tuples produced      : {self.tuples_produced}",
+            f"pattern evaluations  : {self.pattern_evals}",
+            f"nodes visited        : {_counter_text(self.nodes_visited)}",
+            f"stream elements      : {_counter_text(self.stream_scanned)}",
+            f"stack pushes         : {_counter_text(self.stack_pushes)}",
+        ]
+        if self.decision_counts:
+            lines.append(
+                f"chooser decisions    : "
+                f"{_counter_text(self.decision_counts)}")
+        return "\n".join(lines)
+
+
+def _counter_text(counter: Counter) -> str:
+    if not counter:
+        return "-"
+    return ", ".join(f"{name}={count}"
+                     for name, count in sorted(counter.items()))
+
+
+# -- plan cache ----------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for a :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
+
+
+class PlanCache:
+    """A small LRU cache of compiled plans.
+
+    Keys are whatever the engine derives from
+    ``(query, optimize, options)``; values are
+    :class:`~repro.engine.CompiledQuery` objects (immutable once built,
+    so sharing them between calls is safe).
+    """
+
+    def __init__(self, max_size: int = 64) -> None:
+        if max_size < 0:
+            raise ValueError("max_size must be >= 0")
+        self.max_size = max_size
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Look up a plan, counting a hit or a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.max_size == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+
+# -- traced runs ---------------------------------------------------------------
+
+@dataclass
+class TracedRun:
+    """Everything ``Engine.run_traced`` observed about one query run."""
+
+    results: List
+    strategy: str
+    wall_seconds: float
+    metrics: ExecMetrics
+    pipeline: Optional[PipelineMetrics]
+    cache: CacheStats
+    cache_hit: bool
+    compiled: Any = None    # the CompiledQuery (kept last: verbose repr)
+
+    def report(self) -> str:
+        lines = [f"strategy   : {self.strategy}",
+                 f"wall time  : {self.wall_seconds * 1e3:.3f} ms",
+                 f"results    : {len(self.results)} items",
+                 f"plan cache : {'hit' if self.cache_hit else 'miss'}"
+                 f"  (hits={self.cache.hits} misses={self.cache.misses}"
+                 f" evictions={self.cache.evictions})"]
+        if self.pipeline is not None:
+            lines.append("compile stages:")
+            lines.extend("  " + line
+                         for line in self.pipeline.report().splitlines())
+        lines.append("execution counters:")
+        lines.extend("  " + line
+                     for line in self.metrics.report().splitlines())
+        return "\n".join(lines)

@@ -19,8 +19,9 @@ operator calls; it dispatches between the two semantics.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..obs import ExecMetrics
 from ..pattern import PatternPath, TreePattern
 from ..xmltree.document import IndexedDocument, ddo
 from ..xmltree.node import Node
@@ -33,6 +34,19 @@ class TreePatternAlgorithm:
 
     name = "abstract"
 
+    #: counters this algorithm's work is recorded into; ``None`` (the
+    #: default) disables all counting so plain runs pay one ``is None``
+    #: check per scan.
+    metrics: Optional[ExecMetrics] = None
+
+    def attach_metrics(self, metrics: Optional[ExecMetrics]) -> None:
+        """Route this algorithm's counters into ``metrics``.
+
+        Subclasses that delegate (fallbacks, choosers) override this to
+        attach the same object to their inner algorithms.
+        """
+        self.metrics = metrics
+
     def match_single(self, document: IndexedDocument,
                      contexts: List[Node], path: PatternPath) -> List[Node]:
         raise NotImplementedError
@@ -44,6 +58,8 @@ class TreePatternAlgorithm:
     def evaluate(self, document: IndexedDocument, contexts: List[Node],
                  pattern: TreePattern) -> List[Binding]:
         """Evaluate a pattern for one input tuple's context nodes."""
+        if self.metrics is not None:
+            self.metrics.pattern_evals += 1
         if pattern.is_single_output_at_extraction_point():
             out_field = pattern.extraction_point.output_field
             assert out_field is not None

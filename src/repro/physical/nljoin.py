@@ -51,9 +51,10 @@ class NLJoin(TreePatternAlgorithm):
     def _step_candidates(self, context: Node,
                          pattern_step: PatternStep) -> List[Node]:
         """One step from one context: axis, then branches, then position."""
-        survivors = [candidate
-                     for candidate in axis_step(context, pattern_step.axis,
-                                                pattern_step.test)
+        candidates = axis_step(context, pattern_step.axis, pattern_step.test)
+        if self.metrics is not None:
+            self.metrics.nodes_visited[self.name] += len(candidates)
+        survivors = [candidate for candidate in candidates
                      if self._satisfies(candidate, pattern_step)]
         if pattern_step.position is None:
             return survivors

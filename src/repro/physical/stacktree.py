@@ -49,6 +49,10 @@ class StackTreeJoin(TreePatternAlgorithm):
     def __init__(self) -> None:
         self._fallback = NLJoin()
 
+    def attach_metrics(self, metrics) -> None:
+        super().attach_metrics(metrics)
+        self._fallback.attach_metrics(metrics)
+
     # -- public API -----------------------------------------------------------
 
     def match_single(self, document: IndexedDocument,
@@ -58,7 +62,8 @@ class StackTreeJoin(TreePatternAlgorithm):
         current = _dedup_sorted(contexts)
         for step in path.steps:
             candidates = self._qualified_candidates(document, step)
-            current = stack_tree_descendants(current, candidates, step.axis)
+            current = stack_tree_descendants(current, candidates, step.axis,
+                                             metrics=self.metrics)
         return current
 
     def enumerate_bindings(self, document: IndexedDocument, context: Node,
@@ -74,6 +79,8 @@ class StackTreeJoin(TreePatternAlgorithm):
         """All document elements matching the step's test whose predicate
         branches are satisfied (computed bottom-up, list-at-a-time)."""
         candidates = _stream(document, step)
+        if self.metrics is not None:
+            self.metrics.stream_scanned[self.name] += len(candidates)
         for branch in step.predicates:
             candidates = self._filter_by_branch(document, candidates, branch)
         return candidates
@@ -139,18 +146,21 @@ def _dedup_sorted(nodes: List[Node]) -> List[Node]:
 
 
 def stack_tree_descendants(ancestors: List[Node], descendants: List[Node],
-                           axis: Axis) -> List[Node]:
+                           axis: Axis, metrics=None) -> List[Node]:
     """Stack-Tree-Desc, descendant-major semi-join.
 
     Both inputs sorted by ``pre``; returns the distinct descendants that
     stand in ``axis`` relation to some ancestor, in document order —
     one merge sweep with a stack of open ancestors.
     """
+    if metrics is not None:
+        metrics.nodes_visited[StackTreeJoin.name] += len(descendants)
     include_self = axis is Axis.DESCENDANT_OR_SELF
     result: list[Node] = []
     stack: list[Node] = []
     open_ids: set = set()
     a_index = 0
+    pushes = 0
     for descendant in descendants:
         # Open every ancestor that starts at or before this descendant.
         while (a_index < len(ancestors)
@@ -161,6 +171,7 @@ def stack_tree_descendants(ancestors: List[Node], descendants: List[Node],
             while stack and stack[-1].end < ancestor.pre:
                 open_ids.discard(id(stack.pop()))
             stack.append(ancestor)
+            pushes += 1
             open_ids.add(id(ancestor))
             a_index += 1
         # Close ancestors that ended before this descendant.
@@ -176,6 +187,8 @@ def stack_tree_descendants(ancestors: List[Node], descendants: List[Node],
                 result.append(descendant)
         elif stack[-1].pre < descendant.pre:
             result.append(descendant)
+    if metrics is not None:
+        metrics.stack_pushes[StackTreeJoin.name] += pushes
     return result
 
 

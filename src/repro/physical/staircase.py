@@ -48,6 +48,10 @@ class StaircaseJoin(TreePatternAlgorithm):
     def __init__(self) -> None:
         self._fallback = NLJoin()
 
+    def attach_metrics(self, metrics) -> None:
+        super().attach_metrics(metrics)
+        self._fallback.attach_metrics(metrics)
+
     # -- public API -----------------------------------------------------------
 
     def match_single(self, document: IndexedDocument,
@@ -84,11 +88,16 @@ class StaircaseJoin(TreePatternAlgorithm):
         axis = step.axis
         if axis is Axis.SELF:
             kind = axis.principal_kind
+            if self.metrics is not None:
+                self.metrics.nodes_visited[self.name] += len(contexts)
             return [node for node in contexts if step.test.matches(node, kind)]
         if axis is Axis.ATTRIBUTE:
             result: list[Node] = []
             for context in contexts:
                 if isinstance(context, ElementNode):
+                    if self.metrics is not None:
+                        self.metrics.nodes_visited[self.name] += \
+                            len(context.attributes)
                     result.extend(
                         attribute for attribute in context.attributes
                         if step.test.matches(attribute, "attribute"))
@@ -114,6 +123,9 @@ class StaircaseJoin(TreePatternAlgorithm):
             low = bisect_left(pres, low_key)
             high = bisect_right(pres, context.end)
             result.extend(stream[low:high])
+        if self.metrics is not None:
+            self.metrics.stream_scanned[self.name] += len(result)
+            self.metrics.nodes_visited[self.name] += len(result)
         return result
 
     def _child_join(self, document: IndexedDocument,
@@ -131,6 +143,9 @@ class StaircaseJoin(TreePatternAlgorithm):
             previous_end = max(previous_end, context.end)
             low = bisect_left(pres, context.pre + 1)
             high = bisect_right(pres, context.end)
+            if self.metrics is not None:
+                self.metrics.stream_scanned[self.name] += high - low
+                self.metrics.nodes_visited[self.name] += high - low
             chunks.append([node for node in stream[low:high]
                            if node.parent is context])
         if not nested:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Optional
 
+from ..obs import ExecMetrics
 from ..pattern import PatternPath, TreePattern
 from ..xmltree.document import IndexedDocument
 from ..xmltree.nodetest import NameTest
@@ -114,7 +115,24 @@ class HeuristicChooser(TreePatternAlgorithm):
         self.nljoin = NLJoin()
         self.twigjoin = TwigJoin()
         self.scjoin = StaircaseJoin()
-        self.decisions: list[str] = []
+        # Decision recording lives in ExecMetrics (bounded ring + exact
+        # tally) so long-running engines never leak; the engine swaps in
+        # its own metrics object via attach_metrics.
+        self.attach_metrics(ExecMetrics())
+
+    def attach_metrics(self, metrics) -> None:
+        if metrics is None:   # choosers always record decisions
+            metrics = ExecMetrics()
+        super().attach_metrics(metrics)
+        self.nljoin.attach_metrics(metrics)
+        self.twigjoin.attach_metrics(metrics)
+        self.scjoin.attach_metrics(metrics)
+
+    @property
+    def decisions(self) -> list:
+        """Recently chosen algorithm names (bounded; the exact tally is
+        ``self.metrics.decision_counts``)."""
+        return [record.algorithm for record in self.metrics.decision_ring]
 
     def choose(self, document: IndexedDocument, contexts,
                path: PatternPath) -> TreePatternAlgorithm:
@@ -127,7 +145,8 @@ class HeuristicChooser(TreePatternAlgorithm):
             chosen = self.twigjoin
         else:
             chosen = self.scjoin
-        self.decisions.append(chosen.name)
+        self.metrics.record_decision(self.name, chosen.name,
+                                     region=region, streams=streams)
         return chosen
 
     def match_single(self, document, contexts, path):
@@ -156,7 +175,20 @@ class CostBasedChooser(TreePatternAlgorithm):
             "scjoin": StaircaseJoin(),
             "streaming": StreamingXPath(),
         }
-        self.decisions: list[str] = []
+        self.attach_metrics(ExecMetrics())
+
+    def attach_metrics(self, metrics) -> None:
+        if metrics is None:   # choosers always record decisions
+            metrics = ExecMetrics()
+        super().attach_metrics(metrics)
+        for algorithm in self.algorithms.values():
+            algorithm.attach_metrics(metrics)
+
+    @property
+    def decisions(self) -> list:
+        """Recently chosen algorithm names (bounded; the exact tally is
+        ``self.metrics.decision_counts``)."""
+        return [record.algorithm for record in self.metrics.decision_ring]
 
     def model_for(self, document: IndexedDocument) -> "CostModel":
         if self._model is None or self._model.document is not document:
@@ -174,7 +206,9 @@ class CostBasedChooser(TreePatternAlgorithm):
                path: PatternPath) -> TreePatternAlgorithm:
         estimate = self.model_for(document).estimate(list(contexts), path)
         name = estimate.best()
-        self.decisions.append(name)
+        self.metrics.record_decision(
+            self.name, name,
+            **{f"cost_{algo}": cost for algo, cost in estimate.costs.items()})
         return self.algorithms[name]
 
     def match_single(self, document, contexts, path):

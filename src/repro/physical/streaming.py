@@ -61,6 +61,10 @@ class StreamingXPath(TreePatternAlgorithm):
     def __init__(self) -> None:
         self._fallback = NLJoin()
 
+    def attach_metrics(self, metrics) -> None:
+        super().attach_metrics(metrics)
+        self._fallback.attach_metrics(metrics)
+
     def match_single(self, document: IndexedDocument,
                      contexts: List[Node], path: PatternPath) -> List[Node]:
         if not _supported(path):
@@ -93,6 +97,8 @@ class StreamingXPath(TreePatternAlgorithm):
         open_stacks: Dict[int, List[_Candidacy]] = {
             query.index: [] for query in nodes}
         results: list[Node] = []
+        events_seen = 0
+        candidacy_pushes = 0
 
         def valid_anchors(query: _QueryNode, element: Node
                           ) -> List[Optional[_Candidacy]]:
@@ -139,6 +145,8 @@ class StreamingXPath(TreePatternAlgorithm):
                 if valid_anchors(query, element):
                     open_stacks[query.index].append(
                         _Candidacy(element, query))
+                    nonlocal candidacy_pushes
+                    candidacy_pushes += 1
 
         def on_leave(element: Node) -> None:
             # Reverse pre-order: deeper query roles resolve first so a
@@ -165,9 +173,13 @@ class StreamingXPath(TreePatternAlgorithm):
 
         for kind, node in _events(context):
             if kind == ENTER:
+                events_seen += 1
                 on_enter(node)
             else:
                 on_leave(node)
+        if self.metrics is not None:
+            self.metrics.nodes_visited[self.name] += events_seen
+            self.metrics.stack_pushes[self.name] += candidacy_pushes
         return results
 
 

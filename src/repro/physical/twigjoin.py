@@ -102,6 +102,10 @@ class TwigJoin(TreePatternAlgorithm):
     def __init__(self) -> None:
         self._fallback = NLJoin()
 
+    def attach_metrics(self, metrics) -> None:
+        super().attach_metrics(metrics)
+        self._fallback.attach_metrics(metrics)
+
     # -- public API -----------------------------------------------------------
 
     def match_single(self, document: IndexedDocument,
@@ -120,7 +124,8 @@ class TwigJoin(TreePatternAlgorithm):
             return self._fallback.enumerate_bindings(document, context, path)
         nodes: list[_QueryNode] = []
         root = _build_query_tree(path, on_spine=True, nodes=nodes)
-        matches = _twig_matches(document, context, root, nodes)
+        matches = _twig_matches(document, context, root, nodes,
+                                metrics=self.metrics)
         bindings: list[Binding] = []
         for match in matches:
             binding: Binding = {}
@@ -140,7 +145,8 @@ class TwigJoin(TreePatternAlgorithm):
             if not next_spine:
                 break
             spine_leaf = next_spine[0]
-        return spine_leaf.index, _twig_matches(document, context, root, nodes)
+        return spine_leaf.index, _twig_matches(document, context, root,
+                                               nodes, metrics=self.metrics)
 
 
 def _supported(path: PatternPath) -> bool:
@@ -194,19 +200,24 @@ def _region_slice(stream: List[Node], context: Node,
 
 
 def _twig_matches(document: IndexedDocument, context: Node,
-                  root: _QueryNode, nodes: List[_QueryNode]) -> list:
+                  root: _QueryNode, nodes: List[_QueryNode],
+                  metrics=None) -> list:
     for query_node in nodes:
         query_node.stream = _stream_for(document, context, query_node)
         query_node.stack = []
         query_node.candidates = []
         query_node.candidate_pres = []
-    _stack_phase(context, nodes)
+    if metrics is not None:
+        metrics.stream_scanned[TwigJoin.name] += sum(
+            len(query_node.stream) for query_node in nodes)
+    _stack_phase(context, nodes, metrics=metrics)
     if any(not query_node.candidates for query_node in nodes):
         return []
     return _expand(context, root, nodes)
 
 
-def _stack_phase(context: Node, nodes: List[_QueryNode]) -> None:
+def _stack_phase(context: Node, nodes: List[_QueryNode],
+                 metrics=None) -> None:
     """Sweep all streams in document order, keeping per-query-node stacks
     of open elements; an element is a candidate when an element of its
     parent query node (or the context, for roots) is open."""
@@ -215,6 +226,8 @@ def _stack_phase(context: Node, nodes: List[_QueryNode]) -> None:
         events.extend((element.pre, query_node.index, element)
                       for element in query_node.stream)
     events.sort(key=lambda event: event[0])
+    pushes = 0
+    candidates_kept = 0
     open_root = context
     for pre, index, element in events:
         query_node = nodes[index]
@@ -232,8 +245,13 @@ def _stack_phase(context: Node, nodes: List[_QueryNode]) -> None:
         while query_node.stack and query_node.stack[-1].end < pre:
             query_node.stack.pop()
         query_node.stack.append(element)
+        pushes += 1
         query_node.candidates.append(element)
+        candidates_kept += 1
         query_node.candidate_pres.append(element.pre)
+    if metrics is not None:
+        metrics.stack_pushes[TwigJoin.name] += pushes
+        metrics.nodes_visited[TwigJoin.name] += candidates_kept
 
 
 def _candidates_under(query_node: _QueryNode, anchor: Node) -> list:

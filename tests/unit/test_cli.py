@@ -59,6 +59,14 @@ class TestQueryCommand:
         code, output = run_cli("query", "count($input//person) = 2")
         assert output.strip() == "true"
 
+    def test_query_metrics_flag(self):
+        code, output = run_cli("query", "$input//person/name", "--metrics")
+        assert code == 0
+        assert output.splitlines()[:2] == ["John", "Mary"]
+        assert "execution counters:" in output
+        assert "compile stages:" in output
+        assert "plan cache : miss" in output
+
 
 class TestOtherCommands:
     def test_explain(self):
@@ -74,9 +82,24 @@ class TestOtherCommands:
                                "--repeats", "1")
         assert code == 0
         assert "MISMATCH" not in output
-        for strategy in ("nljoin", "twigjoin", "scjoin", "streaming",
-                         "cost"):
+        for strategy in ("nljoin", "twigjoin", "scjoin", "stacktree",
+                         "streaming", "auto", "cost"):
             assert strategy in output
+
+    def test_compare_metrics_flag(self):
+        code, output = run_cli("compare", "$input//person/name",
+                               "--repeats", "1", "--metrics")
+        assert code == 0
+        assert "visited=" in output
+        assert "decisions=" in output       # the auto/cost rows
+
+    def test_explain_metrics_flag(self):
+        code, output = run_cli("explain", "$input//person/name",
+                               "--metrics")
+        assert code == 0
+        assert "Stage timings" in output
+        for stage in ("parse", "normalize", "rewrite", "optimize"):
+            assert stage in output
 
     def test_generate_member_stdout(self):
         code, output = run_cli("generate", "member", "--size", "30",
