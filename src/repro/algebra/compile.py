@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
+from ..guard.errors import ReproError
 from ..xqcore.cast import (CCall, CDDO, CEmpty, CExpr, CFor, CGenCmp, CIf,
                            CArith, CLet, CLit, CLogical, CSeq, CStep,
                            CTypeswitch, CVar, Var)
@@ -31,8 +32,10 @@ from .ops import (Arith, Compare, Const, DDOPlan, FieldAccess, FnCall,
                   VarPlan)
 
 
-class CompilationError(ValueError):
+class CompilationError(ReproError):
     """Raised when a core expression cannot be compiled."""
+
+    code = "REPRO-COMPILE"
 
 
 def compile_core(expr: CExpr) -> ItemPlan:

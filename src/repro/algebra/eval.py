@@ -18,6 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..guard.chaos import chaos_point
+from ..guard.errors import AlgorithmError
+from ..guard.governor import BudgetExceeded, ResourceGovernor
 from ..obs import ExecMetrics
 from ..pattern import TreePattern
 from ..physical.base import TreePatternAlgorithm
@@ -48,6 +51,10 @@ class EvalContext:
     #: when set, the evaluator counts operator evaluations and
     #: items/tuples produced into it (see :mod:`repro.obs`).
     metrics: Optional[ExecMetrics] = None
+    #: when set, the evaluator charges steps/recursion/output against
+    #: its budgets and raises :class:`BudgetExceeded` on a trip
+    #: (see :mod:`repro.guard.governor`).
+    governor: Optional[ResourceGovernor] = None
 
     def lookup_var(self, var: Var) -> Sequence_:
         if var in self.variables:
@@ -72,11 +79,23 @@ def evaluate_plan(plan: Plan, context: EvalContext):
 
 def eval_item(plan: ItemPlan, ctx: EvalContext) -> Sequence_:
     metrics = ctx.metrics
-    if metrics is None:
+    governor = ctx.governor
+    if metrics is None and governor is None:
         return _eval_item(plan, ctx)
-    metrics.operator_evals[type(plan).__name__] += 1
-    result = _eval_item(plan, ctx)
-    metrics.items_produced += len(result)
+    if metrics is not None:
+        metrics.operator_evals[type(plan).__name__] += 1
+    if governor is None:
+        result = _eval_item(plan, ctx)
+    else:
+        governor.tick()
+        governor.enter()
+        try:
+            result = _eval_item(plan, ctx)
+        finally:
+            governor.leave()
+        governor.note_output(len(result))
+    if metrics is not None:
+        metrics.items_produced += len(result)
     return result
 
 
@@ -181,11 +200,23 @@ def _with_binding(ctx: EvalContext, var: Var, value: Sequence_,
 
 def eval_tuples(plan: TuplePlan, ctx: EvalContext) -> List[Tuple_]:
     metrics = ctx.metrics
-    if metrics is None:
+    governor = ctx.governor
+    if metrics is None and governor is None:
         return _eval_tuples(plan, ctx)
-    metrics.operator_evals[type(plan).__name__] += 1
-    result = _eval_tuples(plan, ctx)
-    metrics.tuples_produced += len(result)
+    if metrics is not None:
+        metrics.operator_evals[type(plan).__name__] += 1
+    if governor is None:
+        result = _eval_tuples(plan, ctx)
+    else:
+        governor.tick()
+        governor.enter()
+        try:
+            result = _eval_tuples(plan, ctx)
+        finally:
+            governor.leave()
+        governor.note_output(len(result))
+    if metrics is not None:
+        metrics.tuples_produced += len(result)
     return result
 
 
@@ -227,7 +258,21 @@ def _eval_ttp(plan: TupleTreePattern, ctx: EvalContext) -> List[Tuple_]:
     output: list[Tuple_] = []
     for tuple_ in eval_tuples(plan.input, ctx):
         contexts = _context_nodes(tuple_, ctx, pattern.input_field)
-        bindings = ctx.strategy.evaluate(ctx.document, contexts, pattern)
+        try:
+            bindings = chaos_point(
+                "eval.ttp",
+                ctx.strategy.evaluate(ctx.document, contexts, pattern))
+        except (BudgetExceeded, DynamicError):
+            raise
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as err:
+            # Wrap so the engine can tell an algorithm failure (eligible
+            # for strategy fallback) from a query error (propagated).
+            name = getattr(ctx.strategy, "name", type(ctx.strategy).__name__)
+            raise AlgorithmError(
+                f"physical algorithm {name!r} failed: {err}",
+                algorithm=name) from err
         for binding in bindings:
             extended: Tuple_ = dict(tuple_)
             for field_name, node in binding.items():

@@ -8,14 +8,17 @@ from __future__ import annotations
 
 from typing import List, Union
 
+from ..guard.errors import ReproError
 from ..xmltree.node import Node
 
 Item = Union[Node, str, int, float, bool]
 Sequence_ = List[Item]
 
 
-class DynamicError(ValueError):
+class DynamicError(ReproError):
     """Raised on dynamic (runtime) errors, e.g. a bad EBV."""
+
+    code = "REPRO-DYNAMIC"
 
 
 def effective_boolean_value(seq: Sequence_) -> bool:

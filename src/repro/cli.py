@@ -23,7 +23,8 @@ from typing import List, Optional
 from . import __version__
 from .algebra.optimizer import OptimizerOptions
 from .data import deep_member_document, member_document, xmark_document
-from .engine import Engine
+from .engine import DEFAULT_FALLBACK_CHAIN, Engine
+from .guard import Budgets, ReproError
 from .physical import Strategy
 from .xmltree import Node, serialize
 
@@ -62,6 +63,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--metrics", action="store_true",
                        help="print stage timings, execution counters and "
                             "plan-cache statistics after the results")
+    query.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget for the query (shared "
+                            "across fallback attempts)")
+    query.add_argument("--max-steps", type=int, default=None, metavar="N",
+                       help="evaluation step budget for the query")
+    query.add_argument("--strict", action="store_true",
+                       help="fail fast: no strategy fallback, original "
+                            "algorithm errors propagate")
+    query.add_argument("--fallback-chain", default=None, metavar="CHAIN",
+                       help="comma-separated strategies to retry on "
+                            "algorithm failure (default: "
+                            f"{','.join(DEFAULT_FALLBACK_CHAIN)}; "
+                            "'none' disables fallback)")
 
     explain = commands.add_parser(
         "explain", help="show every compilation stage for a query")
@@ -113,9 +128,20 @@ def _add_document_options(parser: argparse.ArgumentParser) -> None:
 def _load_engine(args) -> Engine:
     options = OptimizerOptions(
         enable_positional=getattr(args, "positional", False))
+    kwargs: dict = {"optimizer_options": options}
+    timeout = getattr(args, "timeout", None)
+    max_steps = getattr(args, "max_steps", None)
+    if timeout is not None or max_steps is not None:
+        kwargs["budgets"] = Budgets(wall_seconds=timeout,
+                                    max_steps=max_steps)
+    if getattr(args, "strict", False):
+        kwargs["strict"] = True
+    chain = getattr(args, "fallback_chain", None)
+    if chain is not None:
+        kwargs["fallback_chain"] = None if chain.lower() == "none" else chain
     if args.doc:
-        return Engine.from_file(args.doc, optimizer_options=options)
-    return Engine.from_xml(SAMPLE_DOCUMENT, optimizer_options=options)
+        return Engine.from_file(args.doc, **kwargs)
+    return Engine.from_xml(SAMPLE_DOCUMENT, **kwargs)
 
 
 def _render_item(item, as_xml: bool) -> str:
@@ -234,7 +260,13 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as err:
+        # Structured engine errors render with their code, source span
+        # and caret snippet; anything else is a genuine crash.
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -27,6 +27,8 @@ from .algebra import (EvalContext, ItemPlan, TupleTreePattern, compile_core,
                       count_operators, eval_item, optimize_plan,
                       plan_canonical, plan_to_string)
 from .algebra.optimizer import OptimizerOptions
+from .guard import (AlgorithmError, BudgetExceeded, Budgets, FallbackEvent,
+                    InputError, ResourceGovernor)
 from .obs import ExecMetrics, PipelineMetrics, PlanCache, TracedRun
 from .pattern import TreePattern
 from .physical import Strategy, TreePatternAlgorithm, make_algorithm
@@ -37,6 +39,19 @@ from .xqcore import CExpr, NormalizedQuery, Var, alpha_canonical, normalize_quer
 from .xquery import ast as surface_ast
 from .xquery import parse_query
 from .xquery.abbrev import resolve_abbreviations
+
+#: pseudo-strategy name for the pure item evaluator: the *unoptimized*
+#: plan has no ``TupleTreePattern`` operators, so evaluating it bypasses
+#: every physical tree-pattern algorithm — the fallback of last resort.
+ITEM_EVALUATOR = "item"
+
+#: strategies ``Engine.execute`` retries on algorithm failure or a
+#: (non-wall) budget trip, in order; the item evaluator last.
+DEFAULT_FALLBACK_CHAIN: Tuple[str, ...] = ("nljoin", ITEM_EVALUATOR)
+
+#: soft cap on document source size (characters); ``Engine.from_xml``
+#: refuses larger inputs unless ``max_document_size`` is raised/``None``.
+DEFAULT_MAX_DOCUMENT_SIZE = 64 * 1024 * 1024
 
 
 @dataclass
@@ -104,18 +119,43 @@ class Engine:
                  rewrite_options: Optional[RewriteOptions] = None,
                  optimizer_options: Optional[OptimizerOptions] = None,
                  default_strategy: Strategy | str = Strategy.STAIRCASE,
-                 plan_cache_size: int = 64) -> None:
+                 plan_cache_size: int = 64,
+                 budgets: Optional[Budgets] = None,
+                 fallback_chain: Optional[Sequence[str]]
+                 = DEFAULT_FALLBACK_CHAIN,
+                 strict: bool = False) -> None:
         self.document = document
         self.rewrite_options = rewrite_options or RewriteOptions()
         self.optimizer_options = optimizer_options or OptimizerOptions()
         self.default_strategy = Strategy(default_strategy)
         #: LRU of compiled plans; ``plan_cache_size=0`` disables caching.
         self.plan_cache = PlanCache(plan_cache_size)
+        #: default per-query resource limits (see :mod:`repro.guard`);
+        #: ``None`` runs ungoverned.
+        self.budgets = budgets
+        #: strategies tried, in order, after the requested one fails;
+        #: ``None``/empty disables graceful degradation.
+        self.fallback_chain = self._normalize_chain(fallback_chain)
+        #: with ``strict=True`` failures re-raise immediately — no
+        #: fallback, original algorithm exceptions unwrapped.
+        self.strict = strict
 
     # -- construction ---------------------------------------------------------
 
     @classmethod
-    def from_xml(cls, text: str, **kwargs) -> "Engine":
+    def from_xml(cls, text: str,
+                 max_document_size: Optional[int]
+                 = DEFAULT_MAX_DOCUMENT_SIZE, **kwargs) -> "Engine":
+        if not isinstance(text, str):
+            raise InputError(
+                f"document must be an XML string, "
+                f"got {type(text).__name__}")
+        if max_document_size is not None and len(text) > max_document_size:
+            raise InputError(
+                f"document of {len(text)} characters exceeds the soft "
+                f"limit of {max_document_size}; pass a larger "
+                f"max_document_size (or None) to override",
+                size=len(text), limit=max_document_size)
         return cls(IndexedDocument.from_string(text), **kwargs)
 
     @classmethod
@@ -140,6 +180,11 @@ class Engine:
         expression after each rewriting pass that changed it (traced
         compiles bypass the cache).
         """
+        if not isinstance(query, str):
+            raise InputError(
+                f"query must be a string, got {type(query).__name__}")
+        if not query.strip():
+            raise InputError("empty query text")
         cacheable = use_cache and not trace
         key = self._cache_key(query, optimize)
         if cacheable:
@@ -189,7 +234,10 @@ class Engine:
                 strategy: Optional[Strategy | str] = None,
                 variables: Optional[Dict[str, Sequence]] = None,
                 optimized: bool = True,
-                metrics: Optional[ExecMetrics] = None) -> List:
+                metrics: Optional[ExecMetrics] = None,
+                budgets: Optional[Budgets] = None,
+                strict: Optional[bool] = None,
+                fallback_chain: Optional[Sequence[str]] = None) -> List:
         """Evaluate a compiled query and return the result sequence.
 
         Every free query variable (``$input``, ``$d``, …) that is not
@@ -198,10 +246,78 @@ class Engine:
 
         When ``metrics`` is given, operator/algorithm counters for this
         run are accumulated into it (see :class:`repro.obs.ExecMetrics`).
+
+        Guardrails (all defaulting to the engine's configuration): work
+        is charged against ``budgets`` and trips raise
+        :class:`~repro.guard.BudgetExceeded`; when a physical algorithm
+        fails — or a non-wall budget trips — the run is retried on each
+        strategy of ``fallback_chain`` in turn (the wall deadline is
+        *shared* across attempts), each decision recorded in ``metrics``
+        as a :class:`~repro.guard.FallbackEvent`.  With ``strict=True``
+        nothing is retried and the algorithm's original exception
+        propagates.
         """
-        algorithm = self._algorithm(strategy)
+        strict = self.strict if strict is None else strict
+        if budgets is None:
+            budgets = self.budgets
+        if budgets is not None and not budgets.enabled():
+            budgets = None
+        chain = self.fallback_chain if fallback_chain is None \
+            else self._normalize_chain(fallback_chain)
+        requested = self._strategy_name(
+            strategy if strategy is not None else self.default_strategy)
+        attempts = [requested]
+        if not strict:
+            attempts.extend(name for name in chain if name != requested)
+        deadline = None
+        if budgets is not None and budgets.wall_seconds is not None:
+            deadline = time.perf_counter() + budgets.wall_seconds
+        last = len(attempts) - 1
+        for index, name in enumerate(attempts):
+            governor = None
+            if budgets is not None:
+                # Fresh step/depth counters per attempt; one shared wall
+                # deadline so fallback cannot multiply the timeout.
+                governor = ResourceGovernor(budgets, deadline=deadline)
+                governor.check_clock()
+            try:
+                return self._execute_once(compiled, name, variables,
+                                          optimized, metrics, governor)
+            except AlgorithmError as err:
+                if strict:
+                    cause = err.__cause__
+                    if isinstance(cause, Exception):
+                        raise cause
+                    raise
+                if index == last:
+                    raise
+                self._record_fallback(metrics, name, attempts[index + 1],
+                                      err)
+            except BudgetExceeded as err:
+                if strict or err.kind == "wall" or index == last:
+                    raise
+                self._record_fallback(metrics, name, attempts[index + 1],
+                                      err)
+        raise AssertionError("unreachable: attempts is never empty")
+
+    def _execute_once(self, compiled: CompiledQuery, strategy_name: str,
+                      variables: Optional[Dict[str, Sequence]],
+                      optimized: bool, metrics: Optional[ExecMetrics],
+                      governor: Optional[ResourceGovernor]) -> List:
+        if strategy_name == ITEM_EVALUATOR:
+            # The unoptimized plan has no TupleTreePattern operators, so
+            # the strategy is never consulted; evaluating it sidesteps
+            # every physical algorithm.
+            algorithm = make_algorithm(Strategy.NESTED_LOOP, self.document)
+            plan = compiled.plan
+        else:
+            algorithm = make_algorithm(Strategy(strategy_name),
+                                       self.document)
+            plan = compiled.optimized if optimized else compiled.plan
         if metrics is not None:
             algorithm.attach_metrics(metrics)
+        if governor is not None:
+            algorithm.attach_governor(governor)
         bindings: Dict[Var, List] = {}
         root = [self.document.root]
         for name, var in compiled.normalized.global_vars.items():
@@ -211,9 +327,19 @@ class Engine:
                 bindings[var] = list(root)
         bindings[compiled.normalized.context_var] = list(root)
         context = EvalContext(document=self.document, strategy=algorithm,
-                              globals=bindings, metrics=metrics)
-        plan = compiled.optimized if optimized else compiled.plan
+                              globals=bindings, metrics=metrics,
+                              governor=governor)
         return eval_item(plan, context)
+
+    @staticmethod
+    def _record_fallback(metrics: Optional[ExecMetrics], from_name: str,
+                         to_name: str, err: Exception) -> None:
+        if metrics is None:
+            return
+        metrics.record_fallback(FallbackEvent(
+            from_strategy=from_name, to_strategy=to_name,
+            error_code=getattr(err, "code", type(err).__name__),
+            error=getattr(err, "message", str(err))))
 
     def run(self, query: str,
             strategy: Optional[Strategy | str] = None,
@@ -245,9 +371,9 @@ class Engine:
                                variables=variables, optimized=optimize,
                                metrics=metrics)
         wall = time.perf_counter() - start
-        chosen = Strategy(strategy) if strategy is not None \
-            else self.default_strategy
-        return TracedRun(results=results, strategy=str(chosen),
+        chosen = self._strategy_name(
+            strategy if strategy is not None else self.default_strategy)
+        return TracedRun(results=results, strategy=chosen,
                          wall_seconds=wall, metrics=metrics,
                          pipeline=compiled.pipeline_metrics,
                          cache=stats.snapshot(), cache_hit=cache_hit,
@@ -258,6 +384,37 @@ class Engine:
         chosen = Strategy(strategy) if strategy is not None \
             else self.default_strategy
         return make_algorithm(chosen, self.document)
+
+    def _strategy_name(self, strategy: Strategy | str) -> str:
+        """Validate a strategy designator, returning its canonical name
+        (``Strategy`` values plus the ``"item"`` pseudo-strategy)."""
+        if isinstance(strategy, Strategy):
+            return strategy.value
+        if isinstance(strategy, str):
+            if strategy == ITEM_EVALUATOR:
+                return ITEM_EVALUATOR
+            try:
+                return Strategy(strategy).value
+            except ValueError:
+                valid = ", ".join(member.value for member in Strategy)
+                raise InputError(
+                    f"unknown strategy {strategy!r}; valid strategies: "
+                    f"{valid} (or {ITEM_EVALUATOR!r})",
+                    strategy=strategy) from None
+        raise InputError(
+            f"strategy must be a Strategy or a strategy name string, "
+            f"got {type(strategy).__name__}", strategy=repr(strategy))
+
+    def _normalize_chain(self,
+                         chain: Optional[Sequence[str]]) -> Tuple[str, ...]:
+        """Validate a fallback chain (also accepts a comma-separated
+        string, e.g. from the command line)."""
+        if chain is None:
+            return ()
+        if isinstance(chain, str):
+            chain = [part.strip() for part in chain.split(",")
+                     if part.strip()]
+        return tuple(self._strategy_name(entry) for entry in chain)
 
 
 def execute_query(xml_text: str, query: str, **kwargs) -> List:

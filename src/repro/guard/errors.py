@@ -1,0 +1,169 @@
+"""The unified error taxonomy.
+
+Every error this engine raises deliberately derives from
+:class:`ReproError`, which carries
+
+* a **machine-readable code** (``err.code``, e.g. ``REPRO-XQ-SYNTAX``,
+  ``REPRO-BUDGET-STEPS``) so callers can dispatch without string
+  matching;
+* an optional **source span** (:class:`SourceSpan`) — line, column and a
+  caret-annotated snippet of the offending input — attached by the
+  parsers via :meth:`ReproError.attach_source`;
+* free-form **context** key/values (``err.context``) surfaced by
+  :meth:`ReproError.to_dict`.
+
+``ReproError`` subclasses :class:`ValueError` so the historical
+``except ValueError`` call sites (and tests) keep working; the six
+scattered parser/compiler/runtime error classes now re-parent onto it
+(see :mod:`repro.xquery.lexer`, :mod:`repro.xmltree.parser`,
+:mod:`repro.xqcore.normalize`, :mod:`repro.algebra.compile`,
+:mod:`repro.pattern.tree`, :mod:`repro.algebra.runtime`).
+
+This module is intentionally dependency-free (stdlib only) so that any
+layer of the stack — lexer to physical algorithms — can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Optional
+
+__all__ = [
+    "AlgorithmError", "FallbackEvent", "InputError", "ReproError",
+    "SourceSpan",
+]
+
+#: longest source line rendered verbatim in a caret snippet; longer
+#: lines are windowed around the caret.
+_SNIPPET_WIDTH = 76
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Where in the source text an error occurred (1-based line/column)."""
+
+    offset: int
+    line: int
+    column: int
+    source_line: str
+
+    @classmethod
+    def from_offset(cls, text: str, offset: int) -> "SourceSpan":
+        offset = max(0, min(offset, len(text)))
+        line = text.count("\n", 0, offset) + 1
+        line_start = text.rfind("\n", 0, offset) + 1
+        line_end = text.find("\n", line_start)
+        if line_end < 0:
+            line_end = len(text)
+        return cls(offset=offset, line=line,
+                   column=offset - line_start + 1,
+                   source_line=text[line_start:line_end])
+
+    def caret_snippet(self) -> str:
+        """The source line with a caret under the error column, windowed
+        for very long lines."""
+        line = self.source_line
+        caret = self.column - 1
+        if len(line) > _SNIPPET_WIDTH:
+            half = _SNIPPET_WIDTH // 2
+            start = max(0, min(caret - half, len(line) - _SNIPPET_WIDTH))
+            line = line[start:start + _SNIPPET_WIDTH]
+            caret -= start
+        caret = max(0, min(caret, len(line)))
+        return f"    {line}\n    {' ' * caret}^"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"offset": self.offset, "line": self.line,
+                "column": self.column}
+
+
+class ReproError(ValueError):
+    """Base of every deliberate engine error.
+
+    ``message`` is the human explanation; ``code`` overrides the class
+    default; ``span`` locates the error in source text; any further
+    keyword arguments become machine-readable ``context``.
+    """
+
+    code: ClassVar[str] = "REPRO-0000"
+
+    def __init__(self, message: str, *, code: Optional[str] = None,
+                 span: Optional[SourceSpan] = None, **context: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        if code is not None:
+            self.code = code
+        self.span = span
+        self.context = context
+
+    def attach_source(self, text: str,
+                      offset: Optional[int] = None) -> "ReproError":
+        """Fill :attr:`span` from the source ``text`` and a character
+        offset (defaulting to the error's ``position`` attribute, which
+        the syntax errors carry).  Returns ``self`` for chaining; a span
+        that is already attached is kept."""
+        if self.span is None:
+            if offset is None:
+                offset = getattr(self, "position", None)
+            if offset is not None:
+                self.span = SourceSpan.from_offset(text, offset)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.span is not None:
+            data["span"] = self.span.to_dict()
+        data.update(self.context)
+        return data
+
+    def __str__(self) -> str:
+        head = f"[{self.code}] {self.message}"
+        if self.span is None:
+            position = getattr(self, "position", None)
+            if position is not None:
+                head += f" (at offset {position})"
+            return head
+        head += f" (line {self.span.line}, column {self.span.column})"
+        return f"{head}\n{self.span.caret_snippet()}"
+
+
+class InputError(ReproError):
+    """Invalid caller-supplied input: empty query text, an unknown
+    strategy name, a wrong-typed argument, an oversized document."""
+
+    code = "REPRO-INPUT"
+
+
+class AlgorithmError(ReproError):
+    """A physical tree-pattern algorithm failed while evaluating.
+
+    Raised by the evaluator's ``TupleTreePattern`` operator wrapping the
+    original exception (as ``__cause__``), so :meth:`Engine.execute` can
+    tell an *algorithm* failure — eligible for graceful fallback — from
+    an error of the query itself."""
+
+    code = "REPRO-ALGO"
+
+    def __init__(self, message: str, *, algorithm: str = "?",
+                 **context: Any) -> None:
+        super().__init__(message, algorithm=algorithm, **context)
+        self.algorithm = algorithm
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One graceful-degradation decision made by ``Engine.execute``."""
+
+    from_strategy: str
+    to_strategy: str
+    error_code: str
+    error: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"from": self.from_strategy, "to": self.to_strategy,
+                "error_code": self.error_code, "error": self.error}
+
+    def __str__(self) -> str:
+        return (f"{self.from_strategy} -> {self.to_strategy} "
+                f"[{self.error_code}] {self.error}")

@@ -127,6 +127,9 @@ class ExecMetrics:
     #: the most recent decisions with their inputs (bounded ring).
     decision_ring: Deque[DecisionRecord] = field(
         default_factory=lambda: deque(maxlen=DECISION_RING_SIZE))
+    #: graceful-degradation decisions made by ``Engine.execute``
+    #: (:class:`repro.guard.FallbackEvent` instances, in order).
+    fallbacks: List[Any] = field(default_factory=list)
 
     # -- recording --------------------------------------------------------
 
@@ -136,6 +139,9 @@ class ExecMetrics:
         self.decision_ring.append(
             DecisionRecord(chooser, algorithm,
                            tuple(sorted(inputs.items()))))
+
+    def record_fallback(self, event: Any) -> None:
+        self.fallbacks.append(event)
 
     # -- views ------------------------------------------------------------
 
@@ -173,6 +179,7 @@ class ExecMetrics:
             "decision_counts": dict(self.decision_counts),
             "decisions": [record.to_dict()
                           for record in self.decision_ring],
+            "fallbacks": [event.to_dict() for event in self.fallbacks],
         }
 
     def merge(self, other: "ExecMetrics") -> "ExecMetrics":
@@ -187,6 +194,7 @@ class ExecMetrics:
         self.stack_pushes.update(other.stack_pushes)
         self.decision_counts.update(other.decision_counts)
         self.decision_ring.extend(other.decision_ring)
+        self.fallbacks.extend(other.fallbacks)
         return self
 
     def report(self) -> str:
@@ -204,6 +212,8 @@ class ExecMetrics:
             lines.append(
                 f"chooser decisions    : "
                 f"{_counter_text(self.decision_counts)}")
+        for event in self.fallbacks:
+            lines.append(f"strategy fallback    : {event}")
         return "\n".join(lines)
 
 
@@ -302,6 +312,12 @@ class TracedRun:
     cache: CacheStats
     cache_hit: bool
     compiled: Any = None    # the CompiledQuery (kept last: verbose repr)
+
+    @property
+    def fallbacks(self) -> List[Any]:
+        """Graceful-degradation decisions taken during this run (see
+        :class:`repro.guard.FallbackEvent`)."""
+        return self.metrics.fallbacks
 
     def report(self) -> str:
         lines = [f"strategy   : {self.strategy}",

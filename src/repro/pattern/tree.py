@@ -21,13 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
+from ..guard.errors import ReproError
 from ..xmltree.axes import Axis, axis_from_string
 from ..xmltree.nodetest import (AnyKindTest, ElementTest, NameTest, NodeTest,
                                 TextTest, WildcardTest)
 
 
-class PatternError(ValueError):
+class PatternError(ReproError):
     """Raised on malformed patterns."""
+
+    code = "REPRO-PATTERN"
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..guard.governor import ResourceGovernor
 from ..obs import ExecMetrics
 from ..pattern import PatternPath, TreePattern
 from ..xmltree.document import IndexedDocument, ddo
@@ -39,6 +40,11 @@ class TreePatternAlgorithm:
     #: check per scan.
     metrics: Optional[ExecMetrics] = None
 
+    #: resource budgets this algorithm's work is charged against;
+    #: ``None`` (the default) disables all checking — like ``metrics``,
+    #: ungoverned runs pay one ``is None`` check per scan.
+    governor: Optional[ResourceGovernor] = None
+
     def attach_metrics(self, metrics: Optional[ExecMetrics]) -> None:
         """Route this algorithm's counters into ``metrics``.
 
@@ -46,6 +52,14 @@ class TreePatternAlgorithm:
         attach the same object to their inner algorithms.
         """
         self.metrics = metrics
+
+    def attach_governor(self, governor: Optional[ResourceGovernor]) -> None:
+        """Charge this algorithm's work against ``governor``'s budgets.
+
+        Subclasses that delegate (fallbacks, choosers) override this to
+        attach the same object to their inner algorithms.
+        """
+        self.governor = governor
 
     def match_single(self, document: IndexedDocument,
                      contexts: List[Node], path: PatternPath) -> List[Node]:
@@ -60,6 +74,11 @@ class TreePatternAlgorithm:
         """Evaluate a pattern for one input tuple's context nodes."""
         if self.metrics is not None:
             self.metrics.pattern_evals += 1
+        if self.governor is not None:
+            # A pattern evaluation is coarse enough to afford a clock
+            # read on top of the step charge.
+            self.governor.tick()
+            self.governor.check_clock()
         if pattern.is_single_output_at_extraction_point():
             out_field = pattern.extraction_point.output_field
             assert out_field is not None

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..guard.chaos import chaos_point
 from ..pattern import PatternPath, PatternStep
 from ..xmltree.axes import step as axis_step
 from ..xmltree.document import IndexedDocument
@@ -38,13 +39,13 @@ class NLJoin(TreePatternAlgorithm):
             for context in current:
                 produced.extend(self._step_candidates(context, pattern_step))
             current = distinct_doc_order(produced)
-        return current
+        return chaos_point("nljoin.match", current)
 
     def enumerate_bindings(self, document: IndexedDocument, context: Node,
                            path: PatternPath) -> List[Binding]:
         bindings: list[Binding] = []
         self._enumerate(context, path.steps, 0, {}, bindings)
-        return bindings
+        return chaos_point("nljoin.enumerate", bindings)
 
     # -- helpers ------------------------------------------------------------
 
@@ -54,6 +55,10 @@ class NLJoin(TreePatternAlgorithm):
         candidates = axis_step(context, pattern_step.axis, pattern_step.test)
         if self.metrics is not None:
             self.metrics.nodes_visited[self.name] += len(candidates)
+        if self.governor is not None:
+            # +1 so empty steps in deep recursions still make progress
+            # against the step budget.
+            self.governor.tick(len(candidates) + 1)
         survivors = [candidate for candidate in candidates
                      if self._satisfies(candidate, pattern_step)]
         if pattern_step.position is None:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import List
 
+from ..guard.chaos import chaos_point
 from ..pattern import PatternPath, PatternStep
 from ..xmltree.axes import Axis
 from ..xmltree.document import IndexedDocument
@@ -53,6 +54,10 @@ class StackTreeJoin(TreePatternAlgorithm):
         super().attach_metrics(metrics)
         self._fallback.attach_metrics(metrics)
 
+    def attach_governor(self, governor) -> None:
+        super().attach_governor(governor)
+        self._fallback.attach_governor(governor)
+
     # -- public API -----------------------------------------------------------
 
     def match_single(self, document: IndexedDocument,
@@ -63,8 +68,9 @@ class StackTreeJoin(TreePatternAlgorithm):
         for step in path.steps:
             candidates = self._qualified_candidates(document, step)
             current = stack_tree_descendants(current, candidates, step.axis,
-                                             metrics=self.metrics)
-        return current
+                                             metrics=self.metrics,
+                                             governor=self.governor)
+        return chaos_point("stacktree.match", current)
 
     def enumerate_bindings(self, document: IndexedDocument, context: Node,
                            path: PatternPath) -> List[Binding]:
@@ -81,6 +87,8 @@ class StackTreeJoin(TreePatternAlgorithm):
         candidates = _stream(document, step)
         if self.metrics is not None:
             self.metrics.stream_scanned[self.name] += len(candidates)
+        if self.governor is not None:
+            self.governor.tick(len(candidates) + 1)
         for branch in step.predicates:
             candidates = self._filter_by_branch(document, candidates, branch)
         return candidates
@@ -146,7 +154,8 @@ def _dedup_sorted(nodes: List[Node]) -> List[Node]:
 
 
 def stack_tree_descendants(ancestors: List[Node], descendants: List[Node],
-                           axis: Axis, metrics=None) -> List[Node]:
+                           axis: Axis, metrics=None,
+                           governor=None) -> List[Node]:
     """Stack-Tree-Desc, descendant-major semi-join.
 
     Both inputs sorted by ``pre``; returns the distinct descendants that
@@ -155,6 +164,8 @@ def stack_tree_descendants(ancestors: List[Node], descendants: List[Node],
     """
     if metrics is not None:
         metrics.nodes_visited[StackTreeJoin.name] += len(descendants)
+    if governor is not None:
+        governor.tick(len(descendants) + 1)
     include_self = axis is Axis.DESCENDANT_OR_SELF
     result: list[Node] = []
     stack: list[Node] = []

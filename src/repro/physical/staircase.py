@@ -27,6 +27,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import List
 
+from ..guard.chaos import chaos_point
 from ..pattern import PatternPath, PatternStep
 from ..xmltree.axes import Axis
 from ..xmltree.document import IndexedDocument
@@ -52,6 +53,10 @@ class StaircaseJoin(TreePatternAlgorithm):
         super().attach_metrics(metrics)
         self._fallback.attach_metrics(metrics)
 
+    def attach_governor(self, governor) -> None:
+        super().attach_governor(governor)
+        self._fallback.attach_governor(governor)
+
     # -- public API -----------------------------------------------------------
 
     def match_single(self, document: IndexedDocument,
@@ -67,7 +72,7 @@ class StaircaseJoin(TreePatternAlgorithm):
             for branch in step.predicates:
                 current = [node for node in current
                            if self._branch_exists(document, node, branch)]
-        return current
+        return chaos_point("scjoin.match", current)
 
     def enumerate_bindings(self, document: IndexedDocument, context: Node,
                            path: PatternPath) -> List[Binding]:
@@ -86,6 +91,8 @@ class StaircaseJoin(TreePatternAlgorithm):
         if not contexts:
             return []
         axis = step.axis
+        if self.governor is not None:
+            self.governor.tick(len(contexts) + 1)
         if axis is Axis.SELF:
             kind = axis.principal_kind
             if self.metrics is not None:
@@ -126,6 +133,8 @@ class StaircaseJoin(TreePatternAlgorithm):
         if self.metrics is not None:
             self.metrics.stream_scanned[self.name] += len(result)
             self.metrics.nodes_visited[self.name] += len(result)
+        if self.governor is not None:
+            self.governor.tick(len(result))
         return result
 
     def _child_join(self, document: IndexedDocument,
@@ -146,6 +155,8 @@ class StaircaseJoin(TreePatternAlgorithm):
             if self.metrics is not None:
                 self.metrics.stream_scanned[self.name] += high - low
                 self.metrics.nodes_visited[self.name] += high - low
+            if self.governor is not None:
+                self.governor.tick(high - low + 1)
             chunks.append([node for node in stream[low:high]
                            if node.parent is context])
         if not nested:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Optional
 
+from ..guard.chaos import chaos_point
 from ..obs import ExecMetrics
 from ..pattern import PatternPath, TreePattern
 from ..xmltree.document import IndexedDocument
@@ -128,6 +129,12 @@ class HeuristicChooser(TreePatternAlgorithm):
         self.twigjoin.attach_metrics(metrics)
         self.scjoin.attach_metrics(metrics)
 
+    def attach_governor(self, governor) -> None:
+        super().attach_governor(governor)
+        self.nljoin.attach_governor(governor)
+        self.twigjoin.attach_governor(governor)
+        self.scjoin.attach_governor(governor)
+
     @property
     def decisions(self) -> list:
         """Recently chosen algorithm names (bounded; the exact tally is
@@ -147,6 +154,9 @@ class HeuristicChooser(TreePatternAlgorithm):
             chosen = self.scjoin
         self.metrics.record_decision(self.name, chosen.name,
                                      region=region, streams=streams)
+        if self.governor is not None:
+            self.governor.tick()
+        chaos_point("auto.choose", chosen.name)
         return chosen
 
     def match_single(self, document, contexts, path):
@@ -184,6 +194,11 @@ class CostBasedChooser(TreePatternAlgorithm):
         for algorithm in self.algorithms.values():
             algorithm.attach_metrics(metrics)
 
+    def attach_governor(self, governor) -> None:
+        super().attach_governor(governor)
+        for algorithm in self.algorithms.values():
+            algorithm.attach_governor(governor)
+
     @property
     def decisions(self) -> list:
         """Recently chosen algorithm names (bounded; the exact tally is
@@ -209,6 +224,9 @@ class CostBasedChooser(TreePatternAlgorithm):
         self.metrics.record_decision(
             self.name, name,
             **{f"cost_{algo}": cost for algo, cost in estimate.costs.items()})
+        if self.governor is not None:
+            self.governor.tick()
+        chaos_point("cost.choose", name)
         return self.algorithms[name]
 
     def match_single(self, document, contexts, path):

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..guard.chaos import chaos_point
 from ..pattern import PatternPath
 from ..xmltree.axes import Axis
 from ..xmltree.document import IndexedDocument
@@ -65,6 +66,10 @@ class StreamingXPath(TreePatternAlgorithm):
         super().attach_metrics(metrics)
         self._fallback.attach_metrics(metrics)
 
+    def attach_governor(self, governor) -> None:
+        super().attach_governor(governor)
+        self._fallback.attach_governor(governor)
+
     def match_single(self, document: IndexedDocument,
                      contexts: List[Node], path: PatternPath) -> List[Node]:
         if not _supported(path):
@@ -72,7 +77,7 @@ class StreamingXPath(TreePatternAlgorithm):
         results: list[Node] = []
         for context in contexts:
             results.extend(self._stream_one(context, path))
-        return distinct_doc_order(results)
+        return chaos_point("streaming.match", distinct_doc_order(results))
 
     def enumerate_bindings(self, document: IndexedDocument, context: Node,
                            path: PatternPath) -> List[Binding]:
@@ -171,9 +176,12 @@ class StreamingXPath(TreePatternAlgorithm):
                     if query.on_spine:
                         anchor.pending.extend(candidacy.pending)
 
+        governor = self.governor
         for kind, node in _events(context):
             if kind == ENTER:
                 events_seen += 1
+                if governor is not None:
+                    governor.tick()
                 on_enter(node)
             else:
                 on_leave(node)

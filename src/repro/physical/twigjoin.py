@@ -28,6 +28,7 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..guard.chaos import chaos_point
 from ..pattern import PatternPath, TreePattern
 from ..xmltree.axes import Axis
 from ..xmltree.document import IndexedDocument
@@ -106,6 +107,10 @@ class TwigJoin(TreePatternAlgorithm):
         super().attach_metrics(metrics)
         self._fallback.attach_metrics(metrics)
 
+    def attach_governor(self, governor) -> None:
+        super().attach_governor(governor)
+        self._fallback.attach_governor(governor)
+
     # -- public API -----------------------------------------------------------
 
     def match_single(self, document: IndexedDocument,
@@ -116,7 +121,7 @@ class TwigJoin(TreePatternAlgorithm):
         for context in contexts:
             spine_index, matches = self._solve(document, context, path)
             results.extend(match[spine_index] for match in matches)
-        return distinct_doc_order(results)
+        return chaos_point("twigjoin.match", distinct_doc_order(results))
 
     def enumerate_bindings(self, document: IndexedDocument, context: Node,
                            path: PatternPath) -> List[Binding]:
@@ -125,7 +130,7 @@ class TwigJoin(TreePatternAlgorithm):
         nodes: list[_QueryNode] = []
         root = _build_query_tree(path, on_spine=True, nodes=nodes)
         matches = _twig_matches(document, context, root, nodes,
-                                metrics=self.metrics)
+                                metrics=self.metrics, governor=self.governor)
         bindings: list[Binding] = []
         for match in matches:
             binding: Binding = {}
@@ -133,7 +138,7 @@ class TwigJoin(TreePatternAlgorithm):
                 if query_node.output_field is not None:
                     binding[query_node.output_field] = match[query_node.index]
             bindings.append(binding)
-        return bindings
+        return chaos_point("twigjoin.enumerate", bindings)
 
     def _solve(self, document: IndexedDocument, context: Node,
                path: PatternPath):
@@ -146,7 +151,8 @@ class TwigJoin(TreePatternAlgorithm):
                 break
             spine_leaf = next_spine[0]
         return spine_leaf.index, _twig_matches(document, context, root,
-                                               nodes, metrics=self.metrics)
+                                               nodes, metrics=self.metrics,
+                                               governor=self.governor)
 
 
 def _supported(path: PatternPath) -> bool:
@@ -201,19 +207,23 @@ def _region_slice(stream: List[Node], context: Node,
 
 def _twig_matches(document: IndexedDocument, context: Node,
                   root: _QueryNode, nodes: List[_QueryNode],
-                  metrics=None) -> list:
+                  metrics=None, governor=None) -> list:
     for query_node in nodes:
         query_node.stream = _stream_for(document, context, query_node)
         query_node.stack = []
         query_node.candidates = []
         query_node.candidate_pres = []
+    total_stream = sum(len(query_node.stream) for query_node in nodes)
     if metrics is not None:
-        metrics.stream_scanned[TwigJoin.name] += sum(
-            len(query_node.stream) for query_node in nodes)
+        metrics.stream_scanned[TwigJoin.name] += total_stream
+    if governor is not None:
+        # Pre-charge the sweep about to happen so the budget trips
+        # before the work, not after.
+        governor.tick(total_stream + 1)
     _stack_phase(context, nodes, metrics=metrics)
     if any(not query_node.candidates for query_node in nodes):
         return []
-    return _expand(context, root, nodes)
+    return _expand(context, root, nodes, governor=governor)
 
 
 def _stack_phase(context: Node, nodes: List[_QueryNode],
@@ -292,7 +302,7 @@ def _branch_exists(query_node: _QueryNode, anchor: Node) -> bool:
 
 
 def _expand(context: Node, root: _QueryNode,
-            nodes: List[_QueryNode]) -> list:
+            nodes: List[_QueryNode], governor=None) -> list:
     """Merge candidates into full matches, enforcing exact axes.
 
     Spine nodes are enumerated; branch nodes without output annotations
@@ -314,6 +324,10 @@ def _expand(context: Node, root: _QueryNode,
         spine_children = [child for child in query_node.children
                           if child.is_continuation]
         for candidate in _surviving_candidates(query_node, anchor):
+            if governor is not None:
+                # The expansion is the one phase that can blow up
+                # combinatorially; charge per candidate considered.
+                governor.tick()
             assignment[query_node.index] = candidate
             enumerate_node(spine_children + todo[1:])
             del assignment[query_node.index]

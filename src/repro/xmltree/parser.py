@@ -12,6 +12,9 @@ assigns the region encoding before returning.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..guard.errors import ReproError
 from .node import AttributeNode, DocumentNode, ElementNode, Node, TextNode, assign_regions
 
 _PREDEFINED_ENTITIES = {
@@ -26,11 +29,17 @@ _NAME_START_EXTRA = set("_:")
 _NAME_EXTRA = set("_:-.")
 
 
-class XMLSyntaxError(ValueError):
-    """Raised when the input is not well-formed XML (for our subset)."""
+class XMLSyntaxError(ReproError):
+    """Raised when the input is not well-formed XML (for our subset).
 
-    def __init__(self, message: str, position: int) -> None:
-        super().__init__(f"{message} (at offset {position})")
+    Always carries ``position``; ``parse_xml`` attaches a full
+    :class:`~repro.guard.errors.SourceSpan` (line, column and a
+    caret-annotated snippet) before the error escapes."""
+
+    code = "REPRO-XML-SYNTAX"
+
+    def __init__(self, message: str, position: Optional[int] = None) -> None:
+        super().__init__(message)
         self.position = position
 
 
@@ -230,8 +239,14 @@ class _Parser:
 
 
 def parse_xml(text: str, uri: str = "") -> DocumentNode:
-    """Parse an XML string into a numbered document tree."""
-    document = _Parser(text).parse_document(uri)
+    """Parse an XML string into a numbered document tree.
+
+    Syntax errors escape with a :class:`~repro.guard.errors.SourceSpan`
+    attached (line/column plus a caret-annotated snippet)."""
+    try:
+        document = _Parser(text).parse_document(uri)
+    except XMLSyntaxError as err:
+        raise err.attach_source(text)
     assign_regions(document)
     return document
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
+from ..guard.errors import ReproError
 from ..xquery import ast
 from ..xmltree.axes import Axis
 from ..xmltree.nodetest import AnyKindTest
@@ -41,8 +42,10 @@ from .cast import (CaseClause, CCall, CDDO, CEmpty, CExpr, CFor, CGenCmp,
                    CTypeswitch, CVar, Var, ebv_call, fresh_var, smart_ddo)
 
 
-class NormalizationError(ValueError):
+class NormalizationError(ReproError):
     """Raised when an expression falls outside the supported fragment."""
+
+    code = "REPRO-NORMALIZE"
 
 
 @dataclass(frozen=True)

@@ -8,14 +8,23 @@ the parser decides contextually whether a name is a keyword.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
+
+from ..guard.errors import ReproError
 
 
-class XQuerySyntaxError(ValueError):
-    """Raised on malformed query text."""
+class XQuerySyntaxError(ReproError):
+    """Raised on malformed query text.
 
-    def __init__(self, message: str, position: int) -> None:
-        super().__init__(f"{message} (at offset {position})")
+    Always carries ``position`` (character offset); the ``tokenize``/
+    ``parse_query`` entry points attach a full :class:`~repro.guard.
+    errors.SourceSpan` (line, column, caret snippet) before the error
+    escapes."""
+
+    code = "REPRO-XQ-SYNTAX"
+
+    def __init__(self, message: str, position: Optional[int] = None) -> None:
+        super().__init__(message)
         self.position = position
 
 
@@ -66,7 +75,10 @@ def _is_name_char(ch: str) -> bool:
 
 def tokenize(text: str) -> list[Token]:
     """Tokenize a query; always ends with an EOF token."""
-    return list(_tokens(text))
+    try:
+        return list(_tokens(text))
+    except XQuerySyntaxError as err:
+        raise err.attach_source(text)
 
 
 def _tokens(text: str) -> Iterator[Token]:

@@ -75,13 +75,19 @@ class _TokenCursor:
 
 
 def parse_query(text: str) -> ast.Expr:
-    """Parse a query string into a surface AST."""
-    cursor = _TokenCursor(tokenize(text))
-    expr = _parse_expr(cursor)
-    token = cursor.current
-    if token.type != EOF:
-        raise XQuerySyntaxError(
-            f"unexpected trailing input {token.value!r}", token.position)
+    """Parse a query string into a surface AST.
+
+    Syntax errors escape with a :class:`~repro.guard.errors.SourceSpan`
+    attached (line/column plus a caret-annotated snippet)."""
+    try:
+        cursor = _TokenCursor(tokenize(text))
+        expr = _parse_expr(cursor)
+        token = cursor.current
+        if token.type != EOF:
+            raise XQuerySyntaxError(
+                f"unexpected trailing input {token.value!r}", token.position)
+    except XQuerySyntaxError as err:
+        raise err.attach_source(text)
     return expr
 
 

@@ -1,0 +1,29 @@
+"""Shared fixtures for the chaos suite: a QE-shaped document and
+engines in the two degradation modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.data import member_document
+
+
+@pytest.fixture(scope="session")
+def qe_doc():
+    """A member-style document (tags t01..t04) sized so every QE query
+    has matches but the whole suite stays fast."""
+    return member_document(800, depth=6, tag_count=4, seed=11)
+
+
+@pytest.fixture(scope="session")
+def qe_engine(qe_doc) -> Engine:
+    """Default engine: graceful fallback enabled (nljoin, then the item
+    evaluator)."""
+    return Engine(qe_doc)
+
+
+@pytest.fixture(scope="session")
+def strict_engine(qe_doc) -> Engine:
+    """Fail-fast engine: injected faults must surface unchanged."""
+    return Engine(qe_doc, strict=True)

@@ -1,0 +1,48 @@
+"""Property: whatever fires, wherever, graceful fallback never changes
+the answer — and strict mode never swallows a fault."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.harness import QE_QUERIES
+from repro.guard import ChaosSpec, InjectedFault, inject
+from repro.obs import ExecMetrics
+
+from .test_chaos_sites import SITE_STRATEGIES, keys
+
+SITES = sorted(SITE_STRATEGIES)
+QUERIES = sorted(QE_QUERIES)
+
+
+@settings(max_examples=40, deadline=None)
+@given(site=st.sampled_from(SITES), name=st.sampled_from(QUERIES),
+       rate=st.floats(min_value=0.1, max_value=1.0),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_fallback_is_transparent(qe_engine, site, name, rate, seed):
+    strategy = SITE_STRATEGIES[site]
+    compiled = qe_engine.compile(QE_QUERIES[name])
+    baseline = keys(qe_engine.execute(compiled, strategy="nljoin"))
+    metrics = ExecMetrics()
+    with inject(ChaosSpec(site=site, rate=rate), seed=seed) as injector:
+        recovered = qe_engine.execute(compiled, strategy=strategy,
+                                      metrics=metrics)
+    assert keys(recovered) == baseline
+    if not injector.fired(site):
+        assert not metrics.fallbacks
+
+
+@settings(max_examples=40, deadline=None)
+@given(site=st.sampled_from(SITES), name=st.sampled_from(QUERIES),
+       rate=st.floats(min_value=0.1, max_value=1.0),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_strict_never_swallows(strict_engine, site, name, rate, seed):
+    strategy = SITE_STRATEGIES[site]
+    compiled = strict_engine.compile(QE_QUERIES[name])
+    raised = False
+    with inject(ChaosSpec(site=site, rate=rate), seed=seed) as injector:
+        try:
+            strict_engine.execute(compiled, strategy=strategy)
+        except InjectedFault:
+            raised = True
+    assert raised == (injector.fired(site) > 0)

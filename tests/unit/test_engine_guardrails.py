@@ -1,0 +1,264 @@
+"""Engine-level guardrails: input validation, budgets, strategy fallback."""
+
+import pytest
+
+from repro import Engine
+from repro.engine import DEFAULT_FALLBACK_CHAIN, ITEM_EVALUATOR
+from repro.guard import (BudgetExceeded, Budgets, ChaosSpec, InjectedFault,
+                         InputError, inject)
+from repro.obs import ExecMetrics
+from repro.physical import Strategy
+
+QUERY = "$input//person[emailaddress]/name"
+
+ALL_STRATEGIES = ["nljoin", "twigjoin", "scjoin", "stacktree", "streaming",
+                  "auto", "cost"]
+
+
+def people_values(results):
+    return [node.string_value() for node in results]
+
+
+class TestInputValidation:
+    def test_empty_query_rejected(self, people_engine):
+        with pytest.raises(InputError) as exc:
+            people_engine.run("")
+        assert exc.value.code == "REPRO-INPUT"
+
+    def test_whitespace_query_rejected(self, people_engine):
+        with pytest.raises(InputError):
+            people_engine.run("   \n\t")
+
+    def test_non_string_query_rejected(self, people_engine):
+        with pytest.raises(InputError):
+            people_engine.run(None)
+
+    def test_unknown_strategy_name(self, people_engine):
+        with pytest.raises(InputError) as exc:
+            people_engine.run(QUERY, strategy="quantum")
+        assert "quantum" in str(exc.value)
+        assert "nljoin" in str(exc.value)  # lists the valid names
+
+    def test_wrong_typed_strategy(self, people_engine):
+        with pytest.raises(InputError):
+            people_engine.run(QUERY, strategy=42)
+
+    def test_strategy_enum_accepted(self, people_engine):
+        assert people_engine.run(QUERY, strategy=Strategy.TWIG_JOIN)
+
+    def test_oversized_document_soft_limit(self):
+        with pytest.raises(InputError) as exc:
+            Engine.from_xml("<a/>" * 1000, max_document_size=100)
+        assert exc.value.context["limit"] == 100
+
+    def test_oversized_limit_can_be_disabled(self):
+        engine = Engine.from_xml("<a>" + "<b/>" * 50 + "</a>",
+                                 max_document_size=None)
+        assert engine.document.size > 0
+
+    def test_non_string_document_rejected(self):
+        with pytest.raises(InputError):
+            Engine.from_xml(b"<a/>")
+
+    def test_bad_fallback_chain_rejected(self, people_doc):
+        with pytest.raises(InputError):
+            Engine(people_doc, fallback_chain=["nljoin", "quantum"])
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_step_budget_trips_every_strategy(self, people_engine, strategy):
+        compiled = people_engine.compile(QUERY)
+        with pytest.raises(BudgetExceeded) as exc:
+            people_engine.execute(compiled, strategy=strategy,
+                                  budgets=Budgets(max_steps=5))
+        err = exc.value
+        assert err.code == "REPRO-BUDGET-STEPS"
+        assert err.steps > 5
+        assert err.elapsed_seconds >= 0.0
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_wall_budget_trips_every_strategy(self, people_engine, strategy):
+        compiled = people_engine.compile(QUERY)
+        with pytest.raises(BudgetExceeded) as exc:
+            people_engine.execute(compiled, strategy=strategy,
+                                  budgets=Budgets(wall_seconds=0.0))
+        assert exc.value.code == "REPRO-BUDGET-WALL"
+
+    def test_output_budget_trips(self, people_engine):
+        with pytest.raises(BudgetExceeded) as exc:
+            people_engine.execute(people_engine.compile("$input//*"),
+                                  budgets=Budgets(max_output=2))
+        assert exc.value.kind == "output"
+
+    def test_generous_budget_passes(self, people_engine):
+        compiled = people_engine.compile(QUERY)
+        plain = people_engine.execute(compiled)
+        governed = people_engine.execute(
+            compiled, budgets=Budgets(wall_seconds=60.0, max_steps=10**9,
+                                      max_output=10**9, max_depth=10**6))
+        assert governed == plain
+
+    def test_engine_level_budgets(self, people_doc):
+        engine = Engine(people_doc, budgets=Budgets(max_steps=5))
+        with pytest.raises(BudgetExceeded):
+            engine.run(QUERY)
+
+    def test_call_overrides_engine_budgets(self, people_doc):
+        engine = Engine(people_doc, budgets=Budgets(max_steps=5))
+        assert engine.execute(engine.compile(QUERY),
+                              budgets=Budgets(max_steps=10**9))
+
+
+class TestFallback:
+    def test_default_chain(self, people_engine):
+        assert people_engine.fallback_chain == DEFAULT_FALLBACK_CHAIN
+
+    def test_fault_falls_back_to_identical_results(self, people_engine):
+        compiled = people_engine.compile(QUERY)
+        baseline = people_engine.execute(compiled, strategy="nljoin")
+        metrics = ExecMetrics()
+        with inject(ChaosSpec(site="twigjoin.match")):
+            recovered = people_engine.execute(compiled, strategy="twigjoin",
+                                              metrics=metrics)
+        assert people_values(recovered) == people_values(baseline)
+        assert len(metrics.fallbacks) == 1
+        event = metrics.fallbacks[0]
+        assert event.from_strategy == "twigjoin"
+        assert event.to_strategy == "nljoin"
+        assert event.error_code == "REPRO-ALGO"
+
+    def test_chain_skips_failing_strategies(self, people_engine):
+        compiled = people_engine.compile(QUERY)
+        baseline = people_engine.execute(compiled, strategy="nljoin")
+        metrics = ExecMetrics()
+        with inject(ChaosSpec(site="twigjoin.match"),
+                    ChaosSpec(site="nljoin.match")):
+            recovered = people_engine.execute(compiled, strategy="twigjoin",
+                                              metrics=metrics)
+        # twigjoin fails, nljoin fails, the item evaluator answers.
+        assert people_values(recovered) == people_values(baseline)
+        assert [e.to_strategy for e in metrics.fallbacks] \
+            == ["nljoin", ITEM_EVALUATOR]
+
+    def test_exhausted_chain_raises_last_error(self, people_doc):
+        engine = Engine(people_doc, fallback_chain=["nljoin"])
+        compiled = engine.compile(QUERY)
+        with inject(ChaosSpec(site="*.match")):
+            with pytest.raises(Exception) as exc:
+                engine.execute(compiled, strategy="twigjoin")
+        assert exc.value.code == "REPRO-ALGO"
+
+    def test_strict_surfaces_original_fault(self, people_engine):
+        compiled = people_engine.compile(QUERY)
+        with inject(ChaosSpec(site="twigjoin.match")):
+            with pytest.raises(InjectedFault):
+                people_engine.execute(compiled, strategy="twigjoin",
+                                      strict=True)
+
+    def test_strict_engine_configuration(self, people_doc):
+        engine = Engine(people_doc, strict=True)
+        with inject(ChaosSpec(site="scjoin.match")):
+            with pytest.raises(InjectedFault):
+                engine.run(QUERY, strategy="scjoin")
+
+    def test_disabled_chain(self, people_doc):
+        engine = Engine(people_doc, fallback_chain=None)
+        compiled = engine.compile(QUERY)
+        with inject(ChaosSpec(site="twigjoin.match")):
+            with pytest.raises(Exception) as exc:
+                engine.execute(compiled, strategy="twigjoin")
+        assert exc.value.code == "REPRO-ALGO"
+
+    def test_comma_separated_chain(self, people_doc):
+        engine = Engine(people_doc, fallback_chain="scjoin, item")
+        assert engine.fallback_chain == ("scjoin", ITEM_EVALUATOR)
+
+    def test_wall_trip_never_retries(self, people_engine):
+        compiled = people_engine.compile(QUERY)
+        metrics = ExecMetrics()
+        with pytest.raises(BudgetExceeded) as exc:
+            people_engine.execute(compiled, strategy="twigjoin",
+                                  budgets=Budgets(wall_seconds=0.0),
+                                  metrics=metrics)
+        assert exc.value.kind == "wall"
+        assert metrics.fallbacks == []
+
+    def test_step_trip_can_recover_on_cheaper_strategy(self, people_doc):
+        # The streaming matcher charges a step per document event, more
+        # than this budget; the item evaluator's per-operator charge
+        # fits, so the run recovers (each attempt gets fresh steps).
+        engine = Engine(people_doc, fallback_chain=[ITEM_EVALUATOR])
+        compiled = engine.compile(QUERY)
+        baseline = engine.execute(compiled, strategy="nljoin")
+        metrics = ExecMetrics()
+        recovered = engine.execute(compiled, strategy="streaming",
+                                   budgets=Budgets(max_steps=40),
+                                   metrics=metrics)
+        assert people_values(recovered) == people_values(baseline)
+        assert [e.error_code for e in metrics.fallbacks] \
+            == ["REPRO-BUDGET-STEPS"]
+
+    def test_query_errors_do_not_fall_back(self, people_engine):
+        metrics = ExecMetrics()
+        with pytest.raises(ValueError) as exc:
+            people_engine.execute(
+                people_engine.compile("let $x := 1 return $x/a"),
+                metrics=metrics)
+        assert exc.value.code == "REPRO-DYNAMIC"
+        assert metrics.fallbacks == []
+
+
+class TestTracedRunVisibility:
+    def test_fallback_visible_in_traced_run(self, people_engine):
+        with inject(ChaosSpec(site="twigjoin.match")):
+            traced = people_engine.run_traced(QUERY, strategy="twigjoin")
+        assert traced.strategy == "twigjoin"
+        assert len(traced.fallbacks) == 1
+        assert traced.fallbacks[0].to_strategy == "nljoin"
+        assert "strategy fallback" in traced.report()
+        assert "twigjoin -> nljoin" in traced.report()
+
+    def test_clean_run_has_no_fallbacks(self, people_engine):
+        traced = people_engine.run_traced(QUERY, strategy="twigjoin")
+        assert traced.fallbacks == []
+        assert "strategy fallback" not in traced.report()
+
+    def test_fallbacks_serialize(self, people_engine):
+        with inject(ChaosSpec(site="scjoin.match")):
+            traced = people_engine.run_traced(QUERY, strategy="scjoin")
+        data = traced.metrics.to_dict()
+        assert data["fallbacks"][0]["from"] == "scjoin"
+
+
+class TestCli:
+    def run_cli(self, argv, capsys):
+        from repro.cli import main
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_timeout_flag(self, capsys):
+        code, _, err = self.run_cli(
+            ["query", "$input//person/name", "--timeout", "0"], capsys)
+        assert code == 2
+        assert "REPRO-BUDGET-WALL" in err
+
+    def test_max_steps_flag(self, capsys):
+        code, _, err = self.run_cli(
+            ["query", "$input//person/name", "--max-steps", "1",
+             "--fallback-chain", "none"], capsys)
+        assert code == 2
+        assert "REPRO-BUDGET-STEPS" in err
+
+    def test_syntax_error_renders_caret(self, capsys):
+        code, _, err = self.run_cli(["query", "for $x in"], capsys)
+        assert code == 2
+        assert "REPRO-XQ-SYNTAX" in err
+        assert "^" in err
+
+    def test_strict_flag_accepted(self, capsys):
+        code, out, _ = self.run_cli(
+            ["query", "$input//person/name", "--strict"], capsys)
+        assert code == 0
+        assert "John" in out

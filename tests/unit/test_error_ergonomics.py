@@ -1,0 +1,88 @@
+"""Parser error ergonomics: every syntax error locates itself.
+
+Satellite of the guardrails work: :class:`XQuerySyntaxError` and
+:class:`XMLSyntaxError` always carry a line/column span and render a
+caret-annotated snippet of the offending input.
+"""
+
+import pytest
+
+from repro.guard import ReproError
+from repro.xmltree import parse_xml
+from repro.xmltree.parser import XMLSyntaxError
+from repro.xquery import parse_query
+from repro.xquery.lexer import XQuerySyntaxError, tokenize
+
+MALFORMED_QUERIES = [
+    "for $x in",                      # truncated FLWOR
+    "for $x in $d return",            # truncated return
+    "$input//person[",                # unterminated predicate
+    "( 1, 2",                         # unterminated parenthesis
+    "$input/child::",                 # missing node test
+    "let $x := 1 return $",           # bare dollar
+    "'unterminated",                  # unterminated string
+    "1 ~ 2",                          # stray character
+    "for x in $d return x",           # variable without '$'
+    "$input//person)",                # trailing input
+]
+
+MALFORMED_XML = [
+    "<a><b></a>",                     # mismatched close tag
+    "<a",                             # truncated open tag
+    "<a></a><b/>",                    # trailing content
+    "<a attr=foo/>",                  # unquoted attribute
+    "<a><b/&></a>",                   # stray character
+    "text only",                      # no root element
+    "<a attr='1' attr='2'/>",         # duplicate attribute
+    "<a>&unknown;</a>",               # unknown entity
+]
+
+
+class TestXQueryErrors:
+    @pytest.mark.parametrize("query", MALFORMED_QUERIES)
+    def test_error_carries_span_and_caret(self, query):
+        with pytest.raises(XQuerySyntaxError) as exc:
+            parse_query(query)
+        err = exc.value
+        assert isinstance(err, ReproError)
+        assert err.code == "REPRO-XQ-SYNTAX"
+        assert err.span is not None, f"no span for {query!r}"
+        assert err.span.line >= 1 and err.span.column >= 1
+        rendered = str(err)
+        assert f"line {err.span.line}, column {err.span.column}" in rendered
+        assert rendered.splitlines()[-1].strip("^ ") == ""
+        assert "^" in rendered
+
+    def test_multiline_query_points_at_right_line(self):
+        with pytest.raises(XQuerySyntaxError) as exc:
+            parse_query("for $x in $d\nreturn (")
+        assert exc.value.span.line == 2
+
+    def test_tokenize_errors_also_attach(self):
+        with pytest.raises(XQuerySyntaxError) as exc:
+            tokenize("1 ~ 2")
+        assert exc.value.span is not None
+
+    def test_except_value_error_still_works(self):
+        with pytest.raises(ValueError):
+            parse_query("for $x in")
+
+
+class TestXMLErrors:
+    @pytest.mark.parametrize("text", MALFORMED_XML)
+    def test_error_carries_span_and_caret(self, text):
+        with pytest.raises(XMLSyntaxError) as exc:
+            parse_xml(text)
+        err = exc.value
+        assert isinstance(err, ReproError)
+        assert err.code == "REPRO-XML-SYNTAX"
+        assert err.span is not None, f"no span for {text!r}"
+        assert err.span.line >= 1 and err.span.column >= 1
+        rendered = str(err)
+        assert f"line {err.span.line}" in rendered
+        assert "^" in rendered
+
+    def test_multiline_document_points_at_right_line(self):
+        with pytest.raises(XMLSyntaxError) as exc:
+            parse_xml("<a>\n<b>\n</c>\n</a>")
+        assert exc.value.span.line == 3

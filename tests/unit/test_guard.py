@@ -1,0 +1,221 @@
+"""Unit tests for the guardrails package (errors, governor, chaos)."""
+
+import pytest
+
+from repro.guard import (AlgorithmError, BudgetExceeded, Budgets, ChaosSpec,
+                         FallbackEvent, InjectedFault, InputError,
+                         KNOWN_SITES, ReproError, ResourceGovernor,
+                         SourceSpan, active_injector, chaos_point, inject)
+
+
+class TestSourceSpan:
+    def test_from_offset_first_line(self):
+        span = SourceSpan.from_offset("abc def", 4)
+        assert (span.line, span.column) == (1, 5)
+        assert span.source_line == "abc def"
+
+    def test_from_offset_later_line(self):
+        span = SourceSpan.from_offset("ab\ncd\nef", 6)
+        assert (span.line, span.column) == (3, 1)
+        assert span.source_line == "ef"
+
+    def test_offset_clamped(self):
+        span = SourceSpan.from_offset("ab", 99)
+        assert span.offset == 2
+        assert span.column == 3
+
+    def test_caret_snippet_points_at_column(self):
+        span = SourceSpan.from_offset("abcdef", 3)
+        snippet, caret = span.caret_snippet().splitlines()
+        assert snippet == "    abcdef"
+        assert caret.index("^") == 4 + 3
+
+    def test_caret_snippet_windows_long_lines(self):
+        text = "x" * 300 + "!" + "y" * 300
+        span = SourceSpan.from_offset(text, 300)
+        snippet, caret = span.caret_snippet().splitlines()
+        assert len(snippet) <= 80
+        assert snippet[caret.index("^")] == "!"
+
+
+class TestReproError:
+    def test_code_and_context(self):
+        err = ReproError("boom", code="REPRO-X", detail=7)
+        assert err.code == "REPRO-X"
+        assert err.context == {"detail": 7}
+        assert err.to_dict() == {"code": "REPRO-X", "message": "boom",
+                                 "detail": 7}
+
+    def test_is_value_error(self):
+        with pytest.raises(ValueError):
+            raise ReproError("compat")
+
+    def test_str_without_span(self):
+        assert str(ReproError("plain")) == "[REPRO-0000] plain"
+
+    def test_str_with_span_has_caret(self):
+        err = ReproError("bad").attach_source("ab\ncde", offset=4)
+        text = str(err)
+        assert "(line 2, column 2)" in text
+        assert text.splitlines()[-1].strip() == "^"
+
+    def test_attach_source_keeps_existing_span(self):
+        err = ReproError("bad").attach_source("abc", offset=1)
+        first = err.span
+        err.attach_source("other text", offset=5)
+        assert err.span is first
+
+    def test_algorithm_error_carries_algorithm(self):
+        err = AlgorithmError("failed", algorithm="twigjoin")
+        assert err.algorithm == "twigjoin"
+        assert err.to_dict()["algorithm"] == "twigjoin"
+
+    def test_fallback_event_rendering(self):
+        event = FallbackEvent("twigjoin", "nljoin", "REPRO-ALGO", "boom")
+        assert "twigjoin -> nljoin" in str(event)
+        assert event.to_dict()["from"] == "twigjoin"
+
+
+class TestGovernor:
+    def test_disabled_budgets(self):
+        budgets = Budgets()
+        assert not budgets.enabled()
+        governor = ResourceGovernor(budgets)
+        for _ in range(10):
+            governor.tick(1000)
+            governor.note_output(10**9)
+        governor.check_clock()
+
+    def test_step_budget_trips(self):
+        governor = ResourceGovernor(Budgets(max_steps=10))
+        with pytest.raises(BudgetExceeded) as exc:
+            for _ in range(11):
+                governor.tick()
+        assert exc.value.kind == "steps"
+        assert exc.value.code == "REPRO-BUDGET-STEPS"
+        assert exc.value.steps == 11
+
+    def test_batched_tick(self):
+        governor = ResourceGovernor(Budgets(max_steps=10))
+        with pytest.raises(BudgetExceeded):
+            governor.tick(11)
+
+    def test_wall_budget_trips_via_tick(self):
+        clock_values = iter([0.0] + [10.0] * 1000)
+        governor = ResourceGovernor(Budgets(wall_seconds=1.0),
+                                    clock=lambda: next(clock_values))
+        with pytest.raises(BudgetExceeded) as exc:
+            for _ in range(1000):
+                governor.tick()
+        assert exc.value.kind == "wall"
+
+    def test_output_budget_trips(self):
+        governor = ResourceGovernor(Budgets(max_output=5))
+        governor.note_output(5)
+        with pytest.raises(BudgetExceeded) as exc:
+            governor.note_output(6)
+        assert exc.value.kind == "output"
+
+    def test_depth_budget_trips(self):
+        governor = ResourceGovernor(Budgets(max_depth=3))
+        for _ in range(3):
+            governor.enter()
+        with pytest.raises(BudgetExceeded) as exc:
+            governor.enter()
+        assert exc.value.kind == "depth"
+        governor.leave()
+
+    def test_shared_deadline_overrides_budget(self):
+        clock_values = iter([5.0] + [6.0] * 10)
+        governor = ResourceGovernor(Budgets(wall_seconds=100.0),
+                                    deadline=5.5,
+                                    clock=lambda: next(clock_values))
+        with pytest.raises(BudgetExceeded) as exc:
+            governor.check_clock()
+        assert exc.value.kind == "wall"
+
+    def test_budget_exceeded_is_structured(self):
+        err = BudgetExceeded("steps", 10, 11, elapsed_seconds=0.5, steps=11)
+        data = err.to_dict()
+        assert data["kind"] == "steps"
+        assert data["limit"] == 10
+        assert data["steps"] == 11
+        assert isinstance(err, ReproError)
+
+
+class TestChaos:
+    def test_inactive_point_is_identity(self):
+        assert active_injector() is None
+        payload = [1, 2, 3]
+        assert chaos_point("nljoin.match", payload) is payload
+
+    def test_unknown_exact_site_rejected(self):
+        with pytest.raises(InputError):
+            ChaosSpec(site="nljoin.matches")
+
+    def test_wildcard_site_allowed(self):
+        ChaosSpec(site="*.match")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(InputError):
+            ChaosSpec(site="nljoin.match", action="explode")
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(InputError):
+            ChaosSpec(site="nljoin.match", rate=1.5)
+
+    def test_raise_action(self):
+        with inject(ChaosSpec(site="nljoin.match")) as injector:
+            with pytest.raises(InjectedFault) as exc:
+                chaos_point("nljoin.match", [])
+        assert exc.value.site == "nljoin.match"
+        assert injector.log == [("nljoin.match", "raise")]
+
+    def test_non_matching_site_passes_through(self):
+        with inject(ChaosSpec(site="nljoin.match")) as injector:
+            assert chaos_point("scjoin.match", [7]) == [7]
+        assert injector.fired() == 0
+        assert injector.visits == ["scjoin.match"]
+
+    def test_corrupt_drops_one_element(self):
+        with inject(ChaosSpec(site="twigjoin.match", action="corrupt")):
+            out = chaos_point("twigjoin.match", [1, 2, 3])
+        assert len(out) == 2
+        assert set(out) < {1, 2, 3}
+
+    def test_corrupt_leaves_non_lists(self):
+        with inject(ChaosSpec(site="twigjoin.match", action="corrupt")):
+            assert chaos_point("twigjoin.match", "scalar") == "scalar"
+
+    def test_seeded_rate_is_deterministic(self):
+        def run(seed):
+            with inject(ChaosSpec(site="*.match", action="corrupt",
+                                  rate=0.5), seed=seed) as injector:
+                for _ in range(50):
+                    chaos_point("nljoin.match", [1])
+            return list(injector.log)
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_nested_injectors_restore(self):
+        with inject(ChaosSpec(site="nljoin.match")) as outer:
+            with inject(ChaosSpec(site="scjoin.match")) as inner:
+                assert active_injector() is inner
+            assert active_injector() is outer
+        assert active_injector() is None
+
+    def test_env_var_supplies_default_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "41")
+        with inject(ChaosSpec(site="*.match", rate=0.5)) as injector:
+            assert injector.seed == 41
+        with inject(ChaosSpec(site="*.match", rate=0.5), seed=7) as injector:
+            assert injector.seed == 7
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "not-a-number")
+        with inject(ChaosSpec(site="*.match")) as injector:
+            assert injector.seed == 0
+
+    def test_every_known_site_has_algorithm_prefix(self):
+        prefixes = {site.split(".")[0] for site in KNOWN_SITES}
+        assert prefixes == {"eval", "nljoin", "twigjoin", "scjoin",
+                            "stacktree", "streaming", "auto", "cost"}
