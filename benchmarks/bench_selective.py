@@ -27,9 +27,19 @@ from repro import Engine
 from repro.bench import (STRATEGIES, STRATEGY_LABELS, measure_strategy,
                          render_measurements, render_table, scaled,
                          time_call)
-from repro.data import deep_member_document
+from repro.data import deep_member_document, member_document
 
 K_VALUES = [5, 10, 15]
+
+# Queries the structural path summary proves empty: the prefilter answers
+# them without touching a single stream or navigation step, while the
+# summary-less engine pays the full evaluation cost.
+PREFILTER_QUERIES = [
+    ("absent tag", "$input//t01//t07"),
+    ("wrong root child", "$input/t02/t01"),
+    ("over-deep chain", "/" + "/".join(["t01"] * 12)),
+    ("impossible branch", "$input//t03[t07]/t01"),
+]
 
 
 def chain_query(k: int) -> str:
@@ -90,5 +100,42 @@ def generate_table(node_count=None, repeats=3) -> str:
     return timings + "\n\n" + counters
 
 
+def generate_prefilter_table(node_count=None, repeats=5) -> str:
+    """Selective queries with and without the structural summary.
+
+    Every query in :data:`PREFILTER_QUERIES` has an empty result that
+    the path summary can prove; the ``summary on`` column should beat
+    ``summary off`` (the ``--no-summary`` escape hatch) by a wide
+    margin because the prefilter short-circuits evaluation entirely.
+    """
+    node_count = node_count or scaled(20_000)
+    document = member_document(node_count, depth=8, tag_count=6, seed=5)
+    with_summary = Engine(document)
+    without = Engine(document, use_summary=False)
+    cells = {}
+    rows = [label for label, _ in PREFILTER_QUERIES]
+    columns = ["summary on", "summary off", "speedup"]
+    for label, query in PREFILTER_QUERIES:
+        timings = {}
+        for column, engine in (("summary on", with_summary),
+                               ("summary off", without)):
+            plan = engine.compile(query)
+            assert not engine.execute(plan, strategy="scjoin"), \
+                f"prefilter benchmark query matched: {query}"
+            timings[column] = time_call(
+                lambda p=plan, e=engine: e.execute(p, strategy="scjoin"),
+                repeats=repeats)
+            cells[(label, column)] = timings[column]
+        cells[(label, "speedup")] = (
+            timings["summary off"] / timings["summary on"]
+            if timings["summary on"] > 0 else float("inf"))
+    return render_table(
+        f"Summary prefilter: provably-empty queries on a MemBeR document "
+        f"({node_count} nodes, depth 8, 6 tags); speedup = off / on",
+        rows, columns, cells)
+
+
 if __name__ == "__main__":
     print(generate_table())
+    print()
+    print(generate_prefilter_table())

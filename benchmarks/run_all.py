@@ -28,6 +28,8 @@ def main() -> int:
         ("Figure 4 (Section 5.1)", bench_figure4.generate_figure),
         ("Figure 6 (Section 5.2)", bench_figure6.generate_figure),
         ("Section 5.3 table", bench_selective.generate_table),
+        ("Summary prefilter (docs/INDEXING.md)",
+         bench_selective.generate_prefilter_table),
         ("Ablation (DESIGN.md E5)", bench_ablation.generate_table),
         ("Adapted XMark catalog (workload family)",
          bench_xmark_catalog.generate_table),

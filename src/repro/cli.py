@@ -123,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_document_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--doc", help="XML document file "
                                       "(default: a built-in sample)")
+    parser.add_argument("--no-summary", action="store_true",
+                        help="disable the structural path summary "
+                             "(pattern prefiltering and selectivity-"
+                             "aware costing)")
 
 
 def _load_engine(args) -> Engine:
@@ -136,6 +140,8 @@ def _load_engine(args) -> Engine:
                                     max_steps=max_steps)
     if getattr(args, "strict", False):
         kwargs["strict"] = True
+    if getattr(args, "no_summary", False):
+        kwargs["use_summary"] = False
     chain = getattr(args, "fallback_chain", None)
     if chain is not None:
         kwargs["fallback_chain"] = None if chain.lower() == "none" else chain

@@ -123,7 +123,8 @@ class Engine:
                  budgets: Optional[Budgets] = None,
                  fallback_chain: Optional[Sequence[str]]
                  = DEFAULT_FALLBACK_CHAIN,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 use_summary: bool = True) -> None:
         self.document = document
         self.rewrite_options = rewrite_options or RewriteOptions()
         self.optimizer_options = optimizer_options or OptimizerOptions()
@@ -139,6 +140,10 @@ class Engine:
         #: with ``strict=True`` failures re-raise immediately — no
         #: fallback, original algorithm exceptions unwrapped.
         self.strict = strict
+        #: build and use the document's structural summary: pattern
+        #: prefiltering plus selectivity-aware costing.  ``False`` (the
+        #: CLI's ``--no-summary``) runs on flat tag statistics only.
+        self.use_summary = use_summary
 
     # -- construction ---------------------------------------------------------
 
@@ -212,6 +217,11 @@ class Engine:
                                           options=self.optimizer_options)
             else:
                 optimized = plan
+        if self.use_summary:
+            # Built once per document and cached; later compiles record
+            # a (near-zero) cache-hit time for the stage.
+            with metrics.stage("summary"):
+                self.document.summary
         compiled = CompiledQuery(text=query, surface=surface,
                                  normalized=normalized, tpnf=tpnf, plan=plan,
                                  optimized=optimized,
@@ -304,16 +314,22 @@ class Engine:
                       variables: Optional[Dict[str, Sequence]],
                       optimized: bool, metrics: Optional[ExecMetrics],
                       governor: Optional[ResourceGovernor]) -> List:
+        # With the summary disabled the choosers must not build one as a
+        # construction default either, so they get no document then.
+        chooser_document = self.document if self.use_summary else None
         if strategy_name == ITEM_EVALUATOR:
             # The unoptimized plan has no TupleTreePattern operators, so
             # the strategy is never consulted; evaluating it sidesteps
             # every physical algorithm.
-            algorithm = make_algorithm(Strategy.NESTED_LOOP, self.document)
+            algorithm = make_algorithm(Strategy.NESTED_LOOP,
+                                       chooser_document)
             plan = compiled.plan
         else:
             algorithm = make_algorithm(Strategy(strategy_name),
-                                       self.document)
+                                       chooser_document)
             plan = compiled.optimized if optimized else compiled.plan
+        algorithm.attach_summary(
+            self.document.summary if self.use_summary else None)
         if metrics is not None:
             algorithm.attach_metrics(metrics)
         if governor is not None:

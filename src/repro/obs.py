@@ -46,8 +46,10 @@ __all__ = [
 #: only bounds the per-decision *detail* log (chooser inputs).
 DECISION_RING_SIZE = 256
 
-#: the compilation stages, in pipeline order (paper Figure 2).
-PIPELINE_STAGES = ("parse", "normalize", "rewrite", "compile", "optimize")
+#: the compilation stages, in pipeline order (paper Figure 2, plus the
+#: structural-summary construction the engine times on first compile).
+PIPELINE_STAGES = ("parse", "normalize", "rewrite", "compile", "optimize",
+                   "summary")
 
 
 # -- compile-time metrics ------------------------------------------------------
@@ -116,6 +118,11 @@ class ExecMetrics:
     tuples_produced: int = 0
     #: ``TupleTreePattern`` pattern evaluations (one per input tuple).
     pattern_evals: int = 0
+    #: pattern evaluations skipped because the structural summary proved
+    #: they cannot match (see :mod:`repro.xmltree.summary`).
+    prune_hits: int = 0
+    #: prefilter checks that could not rule the pattern out.
+    prune_misses: int = 0
     #: nodes an algorithm examined, by algorithm name.
     nodes_visited: Counter = field(default_factory=Counter)
     #: index-stream elements read, by algorithm name.
@@ -157,6 +164,8 @@ class ExecMetrics:
             "items_produced": self.items_produced,
             "tuples_produced": self.tuples_produced,
             "pattern_evals": self.pattern_evals,
+            "prune_hits": self.prune_hits,
+            "prune_misses": self.prune_misses,
         }
         for prefix, counter in (("operator", self.operator_evals),
                                 ("visited", self.nodes_visited),
@@ -173,6 +182,8 @@ class ExecMetrics:
             "items_produced": self.items_produced,
             "tuples_produced": self.tuples_produced,
             "pattern_evals": self.pattern_evals,
+            "prune_hits": self.prune_hits,
+            "prune_misses": self.prune_misses,
             "nodes_visited": dict(self.nodes_visited),
             "stream_scanned": dict(self.stream_scanned),
             "stack_pushes": dict(self.stack_pushes),
@@ -189,6 +200,8 @@ class ExecMetrics:
         self.items_produced += other.items_produced
         self.tuples_produced += other.tuples_produced
         self.pattern_evals += other.pattern_evals
+        self.prune_hits += other.prune_hits
+        self.prune_misses += other.prune_misses
         self.nodes_visited.update(other.nodes_visited)
         self.stream_scanned.update(other.stream_scanned)
         self.stack_pushes.update(other.stack_pushes)
@@ -204,6 +217,8 @@ class ExecMetrics:
             f"items produced       : {self.items_produced}",
             f"tuples produced      : {self.tuples_produced}",
             f"pattern evaluations  : {self.pattern_evals}",
+            f"summary prefilter    : pruned={self.prune_hits} "
+            f"passed={self.prune_misses}",
             f"nodes visited        : {_counter_text(self.nodes_visited)}",
             f"stream elements      : {_counter_text(self.stream_scanned)}",
             f"stack pushes         : {_counter_text(self.stack_pushes)}",

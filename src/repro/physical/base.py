@@ -26,6 +26,7 @@ from ..obs import ExecMetrics
 from ..pattern import PatternPath, TreePattern
 from ..xmltree.document import IndexedDocument, ddo
 from ..xmltree.node import Node
+from ..xmltree.summary import PathSummary
 
 Binding = Dict[str, Node]
 
@@ -45,6 +46,11 @@ class TreePatternAlgorithm:
     #: ungoverned runs pay one ``is None`` check per scan.
     governor: Optional[ResourceGovernor] = None
 
+    #: structural summary of the document being queried; when attached,
+    #: :meth:`evaluate` consults it to skip pattern evaluations that
+    #: provably cannot match (see :mod:`repro.xmltree.summary`).
+    summary: Optional[PathSummary] = None
+
     def attach_metrics(self, metrics: Optional[ExecMetrics]) -> None:
         """Route this algorithm's counters into ``metrics``.
 
@@ -60,6 +66,15 @@ class TreePatternAlgorithm:
         attach the same object to their inner algorithms.
         """
         self.governor = governor
+
+    def attach_summary(self, summary: Optional[PathSummary]) -> None:
+        """Use ``summary`` as the pattern prefilter for :meth:`evaluate`
+        (``None`` disables pruning).
+
+        Subclasses that delegate (choosers) override this to attach the
+        same object to their inner algorithms.
+        """
+        self.summary = summary
 
     def match_single(self, document: IndexedDocument,
                      contexts: List[Node], path: PatternPath) -> List[Node]:
@@ -79,6 +94,18 @@ class TreePatternAlgorithm:
             # read on top of the step charge.
             self.governor.tick()
             self.governor.check_clock()
+        summary = self.summary
+        if (summary is not None and summary.document is document
+                and contexts):
+            # The structural prefilter: when no summary path can embed
+            # the pattern from these contexts, the result is provably
+            # empty and no algorithm needs to run.
+            if not summary.can_match(pattern.path, contexts):
+                if self.metrics is not None:
+                    self.metrics.prune_hits += 1
+                return []
+            if self.metrics is not None:
+                self.metrics.prune_misses += 1
         if pattern.is_single_output_at_extraction_point():
             out_field = pattern.extraction_point.output_field
             assert out_field is not None

@@ -27,8 +27,18 @@ Streaming      ``ST_SCAN · region`` — one pass over every event in the
                context region
 =============  ==============================================================
 
-``streams`` is the stream volume inside the context regions, estimated
-from the document-wide tag statistics scaled by the region fraction.
+``streams`` is the stream volume inside the context regions.  With a
+structural summary attached (the default through the engine; see
+:mod:`repro.xmltree.summary`) it is estimated from summary-derived
+per-query-node cardinalities — the number of nodes that can actually
+match each query node given the steps above it — scaled by the region
+fraction; without one it falls back to the document-wide tag statistics.
+The relative weights were re-checked against the EXPERIMENTS.md §E4/E2
+procedure after the summary switch-over: the summary estimates are
+uniformly ≤ the tag-count estimates and preserve every regime boundary
+(NLJoin on selective child chains, SCJoin/TwigJoin on rooted descendant
+paths, the branch penalty on SCJoin), so the fitted constants carry
+over unchanged.
 """
 
 from __future__ import annotations
@@ -36,11 +46,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from typing import Optional
+
 from ..pattern import PatternPath
 from ..xmltree.document import IndexedDocument
 from ..xmltree.node import Node
 from ..xmltree.axes import Axis
 from ..xmltree.nodetest import NameTest
+from ..xmltree.summary import PathSummary
 
 #: relative per-unit weights (fitted on this engine; see module docstring).
 NL_VISIT = 1.0
@@ -69,8 +82,16 @@ class CostEstimate:
 class CostModel:
     """Estimates per-algorithm evaluation cost from document statistics."""
 
-    def __init__(self, document: IndexedDocument) -> None:
+    _UNSET = object()
+
+    def __init__(self, document: IndexedDocument,
+                 summary: "Optional[PathSummary]" = _UNSET) -> None:
         self.document = document
+        #: structural summary feeding per-query-node cardinalities; the
+        #: default builds (or reuses) the document's own summary, pass
+        #: ``None`` explicitly for flat tag-count statistics only.
+        self.summary = document.summary if summary is CostModel._UNSET \
+            else summary
         self.size = max(document.size, 1)
         elements = document.all_elements()
         child_counts = [len(element.children) for element in elements]
@@ -84,7 +105,21 @@ class CostModel:
                    for context in contexts)
 
     def stream_volume(self, path: PatternPath, region: int) -> float:
-        """Stream elements the index algorithms touch inside the region."""
+        """Stream elements the index algorithms touch inside the region.
+
+        With a summary, per-query-node cardinalities (what can actually
+        match each step under its prefix) stand in for the flat tag
+        counts; both are scaled by the region fraction.
+        """
+        fraction = min(region / self.size, 1.0)
+        if self.summary is not None:
+            volume = self.summary.pattern_volume(path)
+            if volume is not None:
+                return volume * fraction
+        return self._tag_count_volume(path, region)
+
+    def _tag_count_volume(self, path: PatternPath, region: int) -> float:
+        """The summary-free fallback: document-wide tag statistics."""
         fraction = min(region / self.size, 1.0)
         total = 0.0
         for step in path.steps:
@@ -93,7 +128,7 @@ class CostModel:
             else:
                 total += self.size * fraction
             for branch in step.predicates:
-                total += self.stream_volume(branch, region)
+                total += self._tag_count_volume(branch, region)
         return total
 
     def spine_steps(self, path: PatternPath) -> int:

@@ -120,6 +120,8 @@ class HeuristicChooser(TreePatternAlgorithm):
         # tally) so long-running engines never leak; the engine swaps in
         # its own metrics object via attach_metrics.
         self.attach_metrics(ExecMetrics())
+        if document is not None:
+            self.attach_summary(document.summary)
 
     def attach_metrics(self, metrics) -> None:
         if metrics is None:   # choosers always record decisions
@@ -134,6 +136,12 @@ class HeuristicChooser(TreePatternAlgorithm):
         self.nljoin.attach_governor(governor)
         self.twigjoin.attach_governor(governor)
         self.scjoin.attach_governor(governor)
+
+    def attach_summary(self, summary) -> None:
+        super().attach_summary(summary)
+        self.nljoin.attach_summary(summary)
+        self.twigjoin.attach_summary(summary)
+        self.scjoin.attach_summary(summary)
 
     @property
     def decisions(self) -> list:
@@ -186,6 +194,8 @@ class CostBasedChooser(TreePatternAlgorithm):
             "streaming": StreamingXPath(),
         }
         self.attach_metrics(ExecMetrics())
+        if document is not None:
+            self.attach_summary(document.summary)
 
     def attach_metrics(self, metrics) -> None:
         if metrics is None:   # choosers always record decisions
@@ -199,6 +209,15 @@ class CostBasedChooser(TreePatternAlgorithm):
         for algorithm in self.algorithms.values():
             algorithm.attach_governor(governor)
 
+    def attach_summary(self, summary) -> None:
+        super().attach_summary(summary)
+        # The cost model is summary-aware too: detaching the summary
+        # (the --no-summary escape hatch) also reverts its estimates to
+        # the flat tag-count statistics.
+        self._model = None
+        for algorithm in self.algorithms.values():
+            algorithm.attach_summary(summary)
+
     @property
     def decisions(self) -> list:
         """Recently chosen algorithm names (bounded; the exact tally is
@@ -206,14 +225,20 @@ class CostBasedChooser(TreePatternAlgorithm):
         return [record.algorithm for record in self.metrics.decision_ring]
 
     def model_for(self, document: IndexedDocument) -> "CostModel":
-        if self._model is None or self._model.document is not document:
+        use_summary = (self.summary is not None
+                       and self.summary.document is document)
+        if (self._model is None or self._model.document is not document
+                or (self._model.summary is not None) != use_summary):
             # Statistics gathering is linear in the document; cache the
-            # model on the document so repeated queries (and fresh
-            # chooser instances) reuse it.
-            cached = getattr(document, "_cost_model", None)
+            # model on the document (one slot per statistics source) so
+            # repeated queries and fresh chooser instances reuse it.
+            slot = "_cost_model" if use_summary else "_cost_model_plain"
+            cached = getattr(document, slot, None)
             if cached is None:
-                cached = CostModel(document)
-                document._cost_model = cached
+                cached = CostModel(
+                    document,
+                    summary=self.summary if use_summary else None)
+                setattr(document, slot, cached)
             self._model = cached
         return self._model
 

@@ -9,6 +9,7 @@ from .nodetest import (ANY_ELEMENT, ANY_NODE, AnyKindTest, ElementTest,
                        NameTest, NodeTest, TextTest, WildcardTest, name_test)
 from .parser import XMLSyntaxError, parse_xml, parse_xml_file
 from .serializer import serialize
+from .summary import PathStats, PathSummary, SUMMARY_AXES
 
 __all__ = [
     "Axis", "axis_from_string", "axis_nodes", "step",
@@ -20,4 +21,5 @@ __all__ = [
     "NodeTest", "TextTest", "WildcardTest", "name_test",
     "XMLSyntaxError", "parse_xml", "parse_xml_file",
     "serialize",
+    "PathStats", "PathSummary", "SUMMARY_AXES",
 ]

@@ -30,6 +30,7 @@ class IndexedDocument:
         self.tag_pres: dict[str, list[int]] = {}
         self.attribute_streams: dict[str, list[AttributeNode]] = {}
         self.text_stream: list[TextNode] = []
+        self._summary = None
         self._build()
 
     @classmethod
@@ -90,6 +91,17 @@ class IndexedDocument:
         low = bisect_left(pres, low_key)
         high = bisect_right(pres, context.end)
         return stream[low:high]
+
+    @property
+    def summary(self):
+        """The document's structural path summary (see
+        :mod:`repro.xmltree.summary`), built on first access and cached
+        for the document's lifetime — documents are immutable, so the
+        summary never needs invalidation."""
+        if self._summary is None:
+            from .summary import PathSummary
+            self._summary = PathSummary(self)
+        return self._summary
 
     def node_at(self, pre: int) -> Node:
         node = self.nodes_by_pre[pre]

@@ -1,0 +1,47 @@
+"""Golden regression corpus.
+
+Every strategy's serialized output for QE1–QE6 and the adapted XMark
+catalog must be byte-identical to the recorded files in
+``tests/golden/``.  Unlike the cross-strategy differential suite (which
+only demands strategies agree with *each other*), this pins the results
+across time: an optimizer or serializer change that shifts output shows
+up as a corpus diff, not a silent drift.
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python -m tests.support.make_golden
+"""
+
+import pytest
+
+from repro import Engine
+
+from tests.support.make_golden import (GOLDEN_DIR, golden_queries,
+                                       reference_engines, render_results)
+
+ALL_STRATEGIES = ("nljoin", "twigjoin", "scjoin", "stacktree",
+                  "streaming", "auto", "cost", "item")
+
+_QUERIES = golden_queries()
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return reference_engines()
+
+
+def test_corpus_is_complete():
+    recorded = {path.stem for path in GOLDEN_DIR.glob("*.xml")}
+    assert recorded == set(_QUERIES), (
+        "golden corpus out of sync with the query catalog — "
+        "rerun python -m tests.support.make_golden")
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+@pytest.mark.parametrize("stem", sorted(_QUERIES))
+def test_golden_bytes(engines, stem, strategy):
+    engine = engines[stem.split("_", 1)[0]]
+    expected = (GOLDEN_DIR / f"{stem}.xml").read_text(encoding="utf-8")
+    got = render_results(engine.run(_QUERIES[stem], strategy=strategy))
+    assert got == expected, (
+        f"{stem} under {strategy} drifted from the golden corpus")

@@ -95,8 +95,12 @@ def test_chooser_decisions_match_pattern_evals(seed, query, chooser):
     traced = engine.run_traced(query, strategy=chooser)
     metrics = traced.metrics
     # The optimizer emits single-output patterns for path queries, so
-    # each pattern evaluation consults the chooser exactly once.
-    assert metrics.decisions_total == metrics.pattern_evals
+    # each pattern evaluation that survives the structural prefilter
+    # consults the chooser exactly once.
+    assert metrics.decisions_total == \
+        metrics.pattern_evals - metrics.prune_hits
+    assert metrics.prune_hits + metrics.prune_misses == \
+        metrics.pattern_evals
     assert len(metrics.decision_ring) == \
         min(metrics.decisions_total, metrics.decision_ring.maxlen)
 

@@ -1,0 +1,91 @@
+"""Prune correctness: the prefilter never rejects a matching pattern.
+
+For generated (document, pattern) pairs, whenever the structural
+summary's :meth:`~repro.xmltree.summary.PathSummary.can_match` answers
+``False`` — context-free or for specific context nodes — an
+*un-prefiltered* NLJoin must confirm the emptiness: ``match_single``
+returns no nodes and ``enumerate_bindings`` no bindings.  A single
+counterexample would mean the prefilter drops real results (a false
+prune), the one failure mode the design forbids.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import IndexedDocument, NLJoin, parse_pattern
+
+_TAGS = ("a", "b", "c", "d")
+_ATTRS = ("x", "y")
+_AXES = ("child::", "desc::")
+
+
+# -- random documents ----------------------------------------------------------
+
+@st.composite
+def _element(draw, depth):
+    tag = draw(st.sampled_from(_TAGS))
+    attrs = ""
+    if draw(st.integers(0, 3)) == 0:
+        attrs = f' {draw(st.sampled_from(_ATTRS))}="1"'
+    if depth == 0 or draw(st.integers(0, 2)) == 0:
+        body = "t" if draw(st.booleans()) else ""
+    else:
+        body = "".join(draw(st.lists(_element(depth - 1), min_size=0,
+                                     max_size=3)))
+    return f"<{tag}{attrs}>{body}</{tag}>"
+
+
+@st.composite
+def documents(draw):
+    return IndexedDocument.from_string(draw(_element(3)))
+
+
+# -- random patterns -----------------------------------------------------------
+
+@st.composite
+def _steps(draw, max_steps, depth):
+    parts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_steps))):
+        axis = draw(st.sampled_from(_AXES))
+        kind = draw(st.integers(0, 7))
+        if kind == 0:
+            test = "*"
+        elif kind == 1:
+            test = "text()"
+        else:
+            test = draw(st.sampled_from(_TAGS))
+        step = axis + test
+        if depth > 0 and test != "text()" and draw(st.integers(0, 2)) == 0:
+            if draw(st.integers(0, 3)) == 0:
+                inner = "attribute::" + draw(st.sampled_from(_ATTRS))
+            else:
+                inner = draw(_steps(2, depth - 1))
+            step += f"[{inner}]"
+        parts.append(step)
+    return "/".join(parts)
+
+
+@st.composite
+def pattern_paths(draw):
+    return parse_pattern(f"IN#d/{draw(_steps(3, 2))}{{o}}").path
+
+
+# -- the property --------------------------------------------------------------
+
+@given(document=documents(), path=pattern_paths(),
+       context_sample=st.integers(0, 5))
+@settings(max_examples=250, deadline=None, derandomize=True)
+def test_false_means_provably_empty(document, path, context_sample):
+    summary = document.summary
+    nljoin = NLJoin()            # un-prefiltered: no summary attached
+    if not summary.can_match(path):
+        for context in [document.root] + document.all_elements():
+            assert nljoin.match_single(document, [context], path) == []
+            assert nljoin.enumerate_bindings(document, context, path) == []
+    # Context-restricted prunes must hold for exactly those contexts.
+    elements = document.all_elements()
+    contexts = ([document.root] +
+                elements[context_sample::6])[:4]
+    if not summary.can_match(path, contexts):
+        assert nljoin.match_single(document, contexts, path) == []
+        for context in contexts:
+            assert nljoin.enumerate_bindings(document, context, path) == []

@@ -1,0 +1,1 @@
+"""Shared test support code (query generation, golden regeneration)."""

@@ -1,0 +1,75 @@
+"""Regenerate the golden regression corpus.
+
+::
+
+    PYTHONPATH=src python -m tests.support.make_golden
+
+Serializes the QE1–QE6 results (seeded MemBeR document) and the adapted
+XMark catalog results (seeded XMark document) under the executable
+reference — NLJoin on the unoptimized plan — into ``tests/golden/``.
+``tests/integration/test_golden.py`` then holds every strategy to the
+recorded bytes.  Regenerate only when result semantics intentionally
+change, and say why in the commit message.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+from repro import Engine
+from repro.bench import QE_QUERIES, XMARK_CATALOG
+from repro.data import member_document, xmark_document
+from repro.xmltree import Node, serialize
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def render_results(sequence) -> str:
+    """One line per result item: full markup for nodes, XQuery lexical
+    form for atomics.  Newline-terminated so the files are POSIX text."""
+    lines = []
+    for item in sequence:
+        if isinstance(item, Node):
+            lines.append(serialize(item))
+        elif isinstance(item, bool):
+            lines.append("true" if item else "false")
+        else:
+            lines.append(str(item))
+    return "".join(line + "\n" for line in lines)
+
+
+def golden_queries() -> Dict[str, str]:
+    """Map golden-file stem to query text."""
+    corpus = {f"member_{name}": query
+              for name, query in QE_QUERIES.items()}
+    corpus.update({f"xmark_{name}": entry.query
+                   for name, entry in XMARK_CATALOG.items()})
+    return corpus
+
+
+def reference_engines() -> Dict[str, Engine]:
+    """The two seeded fuzz/differential documents, summaries enabled."""
+    return {
+        "member": Engine(member_document(600, depth=5, tag_count=4,
+                                         seed=7)),
+        "xmark": Engine(xmark_document(40, seed=11)),
+    }
+
+
+def main() -> int:
+    engines = reference_engines()
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for stem, query in sorted(golden_queries().items()):
+        engine = engines[stem.split("_", 1)[0]]
+        text = render_results(engine.run(query, strategy="nljoin",
+                                         optimize=False))
+        path = GOLDEN_DIR / f"{stem}.xml"
+        path.write_text(text, encoding="utf-8")
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)} "
+              f"({len(text)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

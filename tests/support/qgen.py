@@ -1,0 +1,112 @@
+"""Grammar-based random query generator for differential fuzzing.
+
+Hypothesis strategies over the engine's XQuery fragment: downward path
+expressions (child/descendant steps, name tests and wildcards, nested
+existence predicates, positional predicates) plus FLWOR wrappers
+(``for``/``where``/``return``, ``let``-bound sequences and aggregates).
+
+Every generated query is *total* — it parses, compiles and evaluates
+without dynamic errors on any document — so differential runs can
+compare results across all physical strategies and both summary modes
+without filtering.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+#: Tag alphabet of the seeded MemBeR fuzz document
+#: (``member_document(600, depth=5, tag_count=4, seed=7)``).
+MEMBER_TAGS = ("t01", "t02", "t03", "t04")
+
+#: Tag alphabet of the seeded XMark fuzz document
+#: (``xmark_document(40, seed=11)``); includes a tag that never occurs
+#: (``annotation``-style misses exercise the summary prefilter).
+XMARK_TAGS = ("site", "people", "person", "name", "emailaddress",
+              "open_auctions", "open_auction", "bidder", "increase",
+              "personref", "itemref", "current", "regions", "item",
+              "absenttag")
+
+_AXES = ("child::", "desc::")
+
+
+@st.composite
+def _node_test(draw, tags):
+    """A name test from the alphabet, occasionally a wildcard."""
+    if draw(st.integers(0, 7)) == 0:
+        return "*"
+    return draw(st.sampled_from(tags))
+
+
+@st.composite
+def _predicate(draw, tags, depth):
+    """``[...]``: a relative existence path, nested up to ``depth``,
+    or a small positional constant."""
+    if draw(st.integers(0, 3)) == 0:
+        return f"[{draw(st.integers(min_value=1, max_value=3))}]"
+    inner = draw(_relative_path(tags, max_steps=2, depth=depth - 1,
+                                allow_predicates=depth > 0))
+    return f"[{inner}]"
+
+
+@st.composite
+def _step(draw, tags, depth, allow_predicates=True):
+    axis = draw(st.sampled_from(_AXES))
+    step = axis + draw(_node_test(tags))
+    if allow_predicates and draw(st.integers(0, 2)) == 0:
+        step += draw(_predicate(tags, depth))
+    return step
+
+
+@st.composite
+def _relative_path(draw, tags, max_steps=3, depth=1,
+                   allow_predicates=True):
+    count = draw(st.integers(min_value=1, max_value=max_steps))
+    steps = [draw(_step(tags, depth, allow_predicates))
+             for _ in range(count)]
+    return "/".join(steps)
+
+
+@st.composite
+def path_queries(draw, tags, max_steps=4):
+    """``$input/<step>/.../<step>`` with predicates and positions."""
+    return "$input/" + draw(_relative_path(tags, max_steps=max_steps,
+                                           depth=2))
+
+
+@st.composite
+def flwor_queries(draw, tags):
+    """A FLWOR wrapper around generated paths.
+
+    Shapes: plain ``for``/``return``, ``for``/``where``/``return``,
+    ``let``-bound sequences re-navigated or aggregated, and
+    ``count(...)`` over a raw path.
+    """
+    source = draw(path_queries(tags, max_steps=3))
+    hop = draw(_relative_path(tags, max_steps=2, depth=1))
+    shape = draw(st.integers(0, 4))
+    if shape == 0:
+        return f"for $x in {source} return $x/{hop}"
+    if shape == 1:
+        guard = draw(_relative_path(tags, max_steps=1, depth=0))
+        return (f"for $x in {source} where $x/{guard} "
+                f"return $x/{hop}")
+    if shape == 2:
+        return f"let $v := {source} return $v/{hop}"
+    if shape == 3:
+        return f"let $v := {source} return count($v)"
+    return f"count({source})"
+
+
+def queries(tags):
+    """The full grammar: mostly paths, a healthy share of FLWOR."""
+    return st.one_of(path_queries(tags), path_queries(tags),
+                     flwor_queries(tags))
+
+
+def member_queries():
+    return queries(MEMBER_TAGS)
+
+
+def xmark_queries():
+    return queries(XMARK_TAGS)

@@ -116,7 +116,8 @@ class TestEngineObservability:
             ["John", "John", "Ada"]
         assert traced.cache_hit is False
         assert set(traced.pipeline.stages) == \
-            {"parse", "normalize", "rewrite", "compile", "optimize"}
+            {"parse", "normalize", "rewrite", "compile", "optimize",
+             "summary"}
         assert traced.pipeline.total_seconds > 0.0
         assert traced.metrics.pattern_evals >= 1
         assert sum(traced.metrics.nodes_visited.values()) > 0

@@ -1,0 +1,186 @@
+"""The structural path summary: construction, prefilter, selectivity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import IndexedDocument
+from repro.data import member_document, xmark_document
+from repro.pattern import parse_pattern
+from repro.xmltree import PathSummary
+from repro.xmltree.node import ElementNode
+
+RECURSIVE_XML = ("<a><a><a><b/></a></a><b><a/></b>x</a>")
+ATTR_ONLY_XML = '<r><e a="1" b="2"/><e c="3"/></r>'
+
+
+def path(text: str):
+    """A PatternPath from the pattern notation used across the tests."""
+    return parse_pattern(f"IN#d/{text}{{o}}").path
+
+
+# -- construction --------------------------------------------------------------
+
+class TestConstruction:
+    def test_recursive_tags_get_distinct_paths(self):
+        summary = IndexedDocument.from_string(RECURSIVE_XML).summary
+        assert summary.path_count(("a",)) == 1
+        assert summary.path_count(("a", "a")) == 1
+        assert summary.path_count(("a", "a", "a")) == 1
+        assert summary.path_count(("a", "b", "a")) == 1
+        # Same tag, different paths: the recursion is kept apart.
+        assert sorted(summary.tag_paths["a"]) == [
+            ("a",), ("a", "a"), ("a", "a", "a"), ("a", "b", "a")]
+
+    def test_depth_range_spans_subtree(self):
+        summary = IndexedDocument.from_string(RECURSIVE_XML).summary
+        assert summary.stats[("a",)].depth_range == (1, 4)
+        assert summary.stats[("a", "a", "a")].depth_range == (3, 4)
+        assert summary.stats[("a", "a", "a", "b")].depth_range == (4, 4)
+
+    def test_child_tag_fanout(self):
+        summary = IndexedDocument.from_string(RECURSIVE_XML).summary
+        root = summary.stats[("a",)]
+        assert root.child_tags == {"a": 1, "b": 1}
+        assert root.fanout == 2
+        assert summary.stats[("a", "a", "a", "b")].fanout == 0
+
+    def test_single_element_document(self):
+        summary = IndexedDocument.from_string("<r/>").summary
+        assert len(summary) == 1
+        assert summary.total_elements == 1
+        assert summary.total_text == 0
+        stats = summary.stats[("r",)]
+        assert stats.count == 1 and stats.height == 0
+        assert stats.depth_range == (1, 1)
+        assert not stats.child_tags and not stats.attributes
+
+    def test_attribute_only_children(self):
+        summary = IndexedDocument.from_string(ATTR_ONLY_XML).summary
+        stats = summary.stats[("r", "e")]
+        # Both <e> elements share the path; their attribute names pool.
+        assert stats.count == 2
+        assert stats.attributes == {"a", "b", "c"}
+        assert stats.fanout == 0 and stats.text_count == 0
+        assert summary.stats[("r",)].attributes == set()
+
+    def test_text_accounting(self):
+        summary = IndexedDocument.from_string(RECURSIVE_XML).summary
+        assert summary.total_text == 1
+        assert summary.stats[("a",)].text_count == 1
+        assert summary.stats[("a",)].text_below == 1
+        assert summary.stats[("a", "a")].text_below == 0
+
+    def test_summary_is_cached_on_document(self):
+        document = IndexedDocument.from_string("<r><s/></r>")
+        assert document.summary is document.summary
+        assert isinstance(document.summary, PathSummary)
+
+
+# -- the prefilter -------------------------------------------------------------
+
+class TestCanMatch:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return IndexedDocument.from_string(RECURSIVE_XML).summary
+
+    def test_present_chains_pass(self, summary):
+        assert summary.can_match(path("child::a/child::a/child::a"))
+        assert summary.can_match(path("desc::b/child::a"))
+        assert summary.can_match(path("desc::a[child::b]"))
+
+    def test_absent_tag_prunes(self, summary):
+        assert not summary.can_match(path("desc::missing"))
+        # Context-free, child::b starts anywhere (<a> has a b child);
+        # from the document node it cannot (the root element is <a>).
+        assert summary.can_match(path("child::b"))
+        assert not summary.can_match(path("child::b"),
+                                     [summary.document.root])
+
+    def test_impossible_branch_prunes(self, summary):
+        assert not summary.can_match(path("desc::b[child::b]"))
+        assert not summary.can_match(path("desc::a[desc::missing]"))
+
+    def test_over_deep_chain_prunes(self, summary):
+        chain = "/".join(["child::a"] * 5)
+        assert not summary.can_match(path(chain))
+
+    def test_contexts_sharpen_the_answer(self, summary):
+        document = summary.document
+        inner_b = [node for node in document.all_elements()
+                   if node.name == "b"]
+        # Globally <a> under <b> exists; from the deep <b> leaf it
+        # cannot (that b has no element children).
+        assert summary.can_match(path("child::a"), inner_b)
+        leaf = [node for node in inner_b
+                if summary.path_of(node) == ("a", "a", "a", "b")]
+        assert not summary.can_match(path("child::a"), leaf)
+
+    def test_positions_never_prune(self, summary):
+        # [5] cannot be satisfied (single child) but positions are
+        # ignored: the answer must stay conservative, not become False.
+        assert summary.can_match(path("child::a[5]"))
+
+    def test_unsupported_axes_never_prune(self, summary):
+        assert summary.can_match(path("parent::nosuchtag"))
+
+    def test_attribute_steps(self):
+        summary = IndexedDocument.from_string(ATTR_ONLY_XML).summary
+        assert summary.can_match(path("child::e/attribute::a"))
+        assert not summary.can_match(path("child::e/attribute::zz"))
+        # The document node itself carries no attributes.
+        assert not summary.can_match(path("attribute::a"),
+                                     [summary.document.root])
+
+
+# -- selectivity ---------------------------------------------------------------
+
+class TestPatternVolume:
+    def test_exact_counts_on_recursive_doc(self):
+        summary = IndexedDocument.from_string(RECURSIVE_XML).summary
+        assert summary.pattern_volume(path("desc::a")) == 4.0
+        assert summary.pattern_volume(path("desc::b")) == 2.0
+        assert summary.pattern_volume(path("desc::missing")) == 0.0
+
+    def test_branches_add_volume(self):
+        summary = IndexedDocument.from_string(RECURSIVE_XML).summary
+        spine = summary.pattern_volume(path("desc::a"))
+        branched = summary.pattern_volume(path("desc::a[child::b]"))
+        assert branched > spine
+
+    def test_unsupported_axis_yields_none(self):
+        summary = IndexedDocument.from_string(RECURSIVE_XML).summary
+        assert summary.pattern_volume(path("parent::a")) is None
+
+
+# -- conservation property -----------------------------------------------------
+
+def count_elements(document) -> int:
+    total = 0
+    stack = [document.root]
+    while stack:
+        node = stack.pop()
+        for child in node.children:
+            if isinstance(child, ElementNode):
+                total += 1
+                stack.append(child)
+    return total
+
+
+@given(seed=st.integers(0, 6), size=st.integers(20, 400),
+       depth=st.integers(2, 7), tags=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_path_counts_sum_to_element_count(seed, size, depth, tags):
+    document = member_document(size, depth=depth, tag_count=tags,
+                               seed=seed)
+    summary = PathSummary(document)
+    by_paths = sum(stats.count for stats in summary.stats.values())
+    assert by_paths == summary.total_elements == count_elements(document)
+
+
+@given(seed=st.integers(0, 4), persons=st.integers(1, 25))
+@settings(max_examples=20, deadline=None)
+def test_path_counts_sum_on_xmark(seed, persons):
+    document = xmark_document(persons, seed=seed)
+    summary = PathSummary(document)
+    by_paths = sum(stats.count for stats in summary.stats.values())
+    assert by_paths == summary.total_elements == count_elements(document)
