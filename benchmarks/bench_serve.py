@@ -1,0 +1,74 @@
+"""E8 — the serving layer under closed-loop load (docs/SERVING.md).
+
+Drives :class:`repro.serve.QueryService` with the seeded mixed QE1–QE6 +
+XMark workload at increasing client counts and reports throughput and
+latency percentiles.  Every response is differentially checked against a
+sequential baseline, so this doubles as a concurrency correctness run;
+any mismatch raises.
+
+Closed-loop clients adapt their offered load to service capacity, so
+throughput should rise until the worker pool saturates (around
+``clients ≈ workers`` on a GIL-bound interpreter, where extra clients
+only add queueing latency).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.serve import LoadReport, QueryService, default_catalog, run_load
+
+CLIENT_LEVELS = (1, 2, 4, 8, 16)
+WORKERS = 4
+QUEUE_LIMIT = 256
+REQUESTS_PER_CLIENT = 30
+SEED = 7
+
+
+def run_levels(levels: Sequence[int] = CLIENT_LEVELS,
+               workers: int = WORKERS,
+               queue_limit: int = QUEUE_LIMIT,
+               requests_per_client: int = REQUESTS_PER_CLIENT,
+               seed: int = SEED) -> List[LoadReport]:
+    reports = []
+    for level in levels:
+        # A fresh catalog/service per level: no cross-level plan-cache
+        # warmth, identical starting state for every row.
+        service = QueryService(default_catalog(seed=seed),
+                               workers=workers, queue_limit=queue_limit)
+        try:
+            report = run_load(service, concurrency=level,
+                              requests_per_client=requests_per_client,
+                              seed=seed)
+        finally:
+            service.close()
+        if report.mismatches or report.errors:
+            raise AssertionError(
+                f"load run at {level} clients saw "
+                f"{report.mismatches} mismatches / {report.errors} errors:"
+                f"\n{report.report()}")
+        reports.append(report)
+    return reports
+
+
+def render_reports(reports: Sequence[LoadReport]) -> str:
+    header = (f"{'clients':>8}{'qps':>10}{'p50 ms':>10}{'p95 ms':>10}"
+              f"{'p99 ms':>10}{'shed':>7}{'coalesced':>11}")
+    lines = [f"{WORKERS} workers, queue limit {QUEUE_LIMIT}, "
+             f"{REQUESTS_PER_CLIENT} requests/client, seed {SEED}",
+             header]
+    for report in reports:
+        row = report.row()
+        lines.append(f"{report.concurrency:>8}{row['qps']:>10.1f}"
+                     f"{row['p50_ms']:>10.3f}{row['p95_ms']:>10.3f}"
+                     f"{row['p99_ms']:>10.3f}{report.shed:>7}"
+                     f"{report.coalesced:>11}")
+    return "\n".join(lines)
+
+
+def generate_table() -> str:
+    return render_reports(run_levels())
+
+
+if __name__ == "__main__":
+    print(generate_table())

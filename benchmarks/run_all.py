@@ -18,6 +18,7 @@ import bench_extensions
 import bench_figure4
 import bench_figure6
 import bench_selective
+import bench_serve
 import bench_table1
 import bench_xmark_catalog
 
@@ -39,6 +40,8 @@ def main() -> int:
          bench_extensions.generate_multi_output_table),
         ("Extensions: cost-based choice (Section 7)",
          bench_extensions.generate_chooser_table),
+        ("Serving layer under load (docs/SERVING.md, E8)",
+         bench_serve.generate_table),
     ]
     for title, generate in sections:
         start = time.perf_counter()

@@ -7,11 +7,14 @@
     python -m repro compare "$input//person/name" --doc site.xml
     python -m repro visualize "$input//person[emailaddress]" --what pattern
     python -m repro generate xmark --size 100 --output site.xml
+    python -m repro serve-bench --workers 4 --concurrency 8
 
 ``query`` evaluates against a document (``--doc``, or a built-in sample
 when omitted) and prints the result sequence.  ``explain`` shows every
 compilation stage.  ``compare`` times every physical strategy on one
 query.  ``generate`` writes a MemBeR-style or XMark-style document.
+``serve-bench`` load-tests the concurrent query service
+(:mod:`repro.serve`) with a seeded mixed workload.
 """
 
 from __future__ import annotations
@@ -104,6 +107,33 @@ def build_parser() -> argparse.ArgumentParser:
                            default="plan")
     visualize.add_argument("--positional", action="store_true",
                            help="enable the positional-pattern extension")
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="drive the concurrent query service with a seeded mixed "
+             "load and report throughput/latency (see docs/SERVING.md)")
+    serve_bench.add_argument("--workers", type=int, default=4,
+                             help="service worker threads (default: 4)")
+    serve_bench.add_argument("--concurrency", type=int, default=8,
+                             help="closed-loop client threads "
+                                  "(default: 8)")
+    serve_bench.add_argument("--requests", type=int, default=25,
+                             metavar="N",
+                             help="requests per client (default: 25)")
+    serve_bench.add_argument("--queue-limit", type=int, default=128,
+                             metavar="N",
+                             help="admission queue capacity "
+                                  "(default: 128)")
+    serve_bench.add_argument("--seed", type=int, default=7,
+                             help="workload schedule seed (default: 7)")
+    serve_bench.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="per-request deadline (queue wait "
+                                  "included)")
+    serve_bench.add_argument("--check", action="store_true",
+                             help="exit non-zero on any differential "
+                                  "mismatch, error or shed request "
+                                  "(for CI smoke runs)")
 
     generate = commands.add_parser(
         "generate", help="write a synthetic benchmark document")
@@ -236,6 +266,25 @@ def _command_visualize(args, out) -> int:
     return 0
 
 
+def _command_serve_bench(args, out) -> int:
+    from .serve import QueryService, default_catalog, run_load
+    service = QueryService(default_catalog(seed=args.seed),
+                           workers=args.workers,
+                           queue_limit=args.queue_limit)
+    try:
+        report = run_load(service, concurrency=args.concurrency,
+                          requests_per_client=args.requests,
+                          seed=args.seed, timeout=args.timeout)
+    finally:
+        service.close()
+    print(report.report(), file=out)
+    if args.check and (report.mismatches or report.errors or report.shed):
+        print(f"check FAILED: mismatches={report.mismatches} "
+              f"errors={report.errors} shed={report.shed}", file=out)
+        return 1
+    return 0
+
+
 def _command_generate(args, out) -> int:
     if args.kind == "member":
         document = member_document(args.size, depth=args.depth or 4,
@@ -259,6 +308,7 @@ _COMMANDS = {
     "explain": _command_explain,
     "compare": _command_compare,
     "visualize": _command_visualize,
+    "serve-bench": _command_serve_bench,
     "generate": _command_generate,
 }
 

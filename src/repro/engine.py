@@ -31,7 +31,7 @@ from .guard import (AlgorithmError, BudgetExceeded, Budgets, FallbackEvent,
                     InputError, ResourceGovernor)
 from .obs import ExecMetrics, PipelineMetrics, PlanCache, TracedRun
 from .pattern import TreePattern
-from .physical import Strategy, TreePatternAlgorithm, make_algorithm
+from .physical import Strategy, make_algorithm
 from .rewrite import RewriteOptions, RewriteTrace, rewrite_to_tpnf
 from .typing import infer_type
 from .xmltree import IndexedDocument, Node, parse_xml
@@ -389,17 +389,17 @@ class Engine:
         wall = time.perf_counter() - start
         chosen = self._strategy_name(
             strategy if strategy is not None else self.default_strategy)
+        # The strategy that actually produced the results: the last
+        # fallback target when graceful degradation kicked in, the
+        # requested strategy otherwise.
+        effective = metrics.fallbacks[-1].to_strategy \
+            if metrics.fallbacks else chosen
         return TracedRun(results=results, strategy=chosen,
                          wall_seconds=wall, metrics=metrics,
                          pipeline=compiled.pipeline_metrics,
                          cache=stats.snapshot(), cache_hit=cache_hit,
+                         effective_strategy=effective,
                          compiled=compiled)
-
-    def _algorithm(self,
-                   strategy: Optional[Strategy | str]) -> TreePatternAlgorithm:
-        chosen = Strategy(strategy) if strategy is not None \
-            else self.default_strategy
-        return make_algorithm(chosen, self.document)
 
     def _strategy_name(self, strategy: Strategy | str) -> str:
         """Validate a strategy designator, returning its canonical name

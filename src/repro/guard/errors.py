@@ -31,7 +31,7 @@ from typing import Any, ClassVar, Dict, Optional
 
 __all__ = [
     "AlgorithmError", "FallbackEvent", "InputError", "ReproError",
-    "SourceSpan",
+    "ServiceClosed", "ServiceOverloaded", "SourceSpan",
 ]
 
 #: longest source line rendered verbatim in a caret snippet; longer
@@ -149,6 +149,31 @@ class AlgorithmError(ReproError):
                  **context: Any) -> None:
         super().__init__(message, algorithm=algorithm, **context)
         self.algorithm = algorithm
+
+
+class ServiceOverloaded(ReproError):
+    """The query service shed a request because its admission queue was
+    full (see :class:`repro.serve.QueryService`).
+
+    Load shedding is deliberate backpressure, not a crash: the caller
+    should retry later or reduce concurrency.  ``queue_depth`` and
+    ``queue_limit`` report the state that triggered the shed."""
+
+    code = "REPRO-SERVICE-OVERLOADED"
+
+    def __init__(self, message: str, *, queue_depth: int = 0,
+                 queue_limit: int = 0, **context: Any) -> None:
+        super().__init__(message, queue_depth=queue_depth,
+                         queue_limit=queue_limit, **context)
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+
+
+class ServiceClosed(ReproError):
+    """A request was submitted to a query service that has been shut
+    down (or is shutting down)."""
+
+    code = "REPRO-SERVICE-CLOSED"
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ is attached, so plain ``run()`` calls pay a single ``is None`` check.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter, OrderedDict, deque
 from contextlib import contextmanager
@@ -272,6 +273,11 @@ class PlanCache:
     ``(query, optimize, options)``; values are
     :class:`~repro.engine.CompiledQuery` objects (immutable once built,
     so sharing them between calls is safe).
+
+    Thread-safe: lookups, insertions and the LRU reordering happen
+    under one internal lock, so engines shared across a worker pool
+    (see :mod:`repro.serve`) cannot corrupt the ``OrderedDict`` or lose
+    evictions to races.
     """
 
     def __init__(self, max_size: int = 64) -> None:
@@ -280,37 +286,43 @@ class PlanCache:
         self.max_size = max_size
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> Optional[Any]:
         """Look up a plan, counting a hit or a miss."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.max_size == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 # -- traced runs ---------------------------------------------------------------
@@ -320,13 +332,21 @@ class TracedRun:
     """Everything ``Engine.run_traced`` observed about one query run."""
 
     results: List
+    #: the strategy the caller asked for (or the engine default).
     strategy: str
     wall_seconds: float
     metrics: ExecMetrics
     pipeline: Optional[PipelineMetrics]
     cache: CacheStats
     cache_hit: bool
+    #: the strategy that actually produced the results — differs from
+    #: :attr:`strategy` when graceful fallback re-ran the query.
+    effective_strategy: str = ""
     compiled: Any = None    # the CompiledQuery (kept last: verbose repr)
+
+    def __post_init__(self) -> None:
+        if not self.effective_strategy:
+            self.effective_strategy = self.strategy
 
     @property
     def fallbacks(self) -> List[Any]:
@@ -335,7 +355,10 @@ class TracedRun:
         return self.metrics.fallbacks
 
     def report(self) -> str:
-        lines = [f"strategy   : {self.strategy}",
+        strategy = self.strategy
+        if self.effective_strategy != self.strategy:
+            strategy += f" (effective: {self.effective_strategy})"
+        lines = [f"strategy   : {strategy}",
                  f"wall time  : {self.wall_seconds * 1e3:.3f} ms",
                  f"results    : {len(self.results)} items",
                  f"plan cache : {'hit' if self.cache_hit else 'miss'}"

@@ -1,0 +1,37 @@
+"""The serving layer: many documents, many callers, one process.
+
+The compiler (paper Figure 2) and its guardrails assume they sit inside
+a *serving engine* — the setting of the source paper, whose tree-pattern
+operators were built as pluggable physical operators of a reusable
+XQuery engine.  This package supplies that engine-around-the-engine:
+
+* :class:`DocumentCatalog` — named documents, one shared
+  :class:`~repro.engine.Engine` each (shared plan cache + structural
+  summary, built once under a lock);
+* :class:`QueryService` — a worker pool behind a **bounded admission
+  queue**: full queue → typed :class:`~repro.guard.ServiceOverloaded`
+  shed (backpressure), per-request deadlines mapped onto
+  :class:`~repro.guard.Budgets`, and **coalescing** of identical
+  in-flight requests into a single execution;
+* :class:`~repro.serve.metrics.ServiceMetrics` /
+  :class:`~repro.serve.metrics.ServiceStats` — QPS, queue depth, shed /
+  coalesce counts and a constant-memory latency histogram (p50/p95/p99);
+* :mod:`repro.serve.loadgen` — a seeded closed-loop load generator that
+  doubles as a concurrency differential test (``python -m repro
+  serve-bench``).
+
+See ``docs/SERVING.md`` for the architecture and tuning knobs.
+"""
+
+from .catalog import DocumentCatalog
+from .loadgen import (LoadReport, default_catalog, mixed_workload,
+                      run_load)
+from .metrics import LatencyHistogram, ServiceMetrics, ServiceStats
+from .service import (PendingQuery, QueryRequest, QueryResponse,
+                      QueryService)
+
+__all__ = [
+    "DocumentCatalog", "LatencyHistogram", "LoadReport", "PendingQuery",
+    "QueryRequest", "QueryResponse", "QueryService", "ServiceMetrics",
+    "ServiceStats", "default_catalog", "mixed_workload", "run_load",
+]

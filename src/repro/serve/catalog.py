@@ -1,0 +1,146 @@
+"""A catalog of named documents, each served by one shared engine.
+
+:class:`DocumentCatalog` is the serving layer's document registry: it
+maps a name (``"site"``, ``"member-20k"``) to one
+:class:`~repro.xmltree.IndexedDocument` and the single
+:class:`~repro.engine.Engine` all workers share for it — so the plan
+cache and the structural summary are built once per document, not once
+per request.
+
+Registration accepts a ready document, raw XML text, a file path or a
+zero-argument factory (for synthetic workloads); construction is lazy
+and double-check locked, so the first request for a document pays the
+parse/index/summary cost exactly once, even when many workers ask for
+it simultaneously.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..engine import Engine
+from ..guard import InputError
+from ..xmltree import IndexedDocument
+
+__all__ = ["DocumentCatalog"]
+
+
+class _Entry:
+    """One named document: a lazily-built engine plus its build lock."""
+
+    def __init__(self, loader: Callable[[], Engine]) -> None:
+        self.loader = loader
+        self.engine: Optional[Engine] = None
+        self.lock = threading.Lock()
+
+    def get(self) -> Engine:
+        if self.engine is None:
+            with self.lock:
+                if self.engine is None:
+                    engine = self.loader()
+                    # Warm the summary under the entry lock so the first
+                    # wave of workers shares one build instead of racing
+                    # to it (the document property is itself locked, but
+                    # warming here keeps the cost out of request latency).
+                    if engine.use_summary:
+                        engine.document.summary
+                    self.engine = engine
+        return self.engine
+
+
+class DocumentCatalog:
+    """Named documents with one shared :class:`Engine` each.
+
+    ``engine_defaults`` (e.g. ``default_strategy=``, ``budgets=``,
+    ``plan_cache_size=``) apply to every engine the catalog builds;
+    per-document overrides can be passed at registration time.
+    """
+
+    def __init__(self, **engine_defaults) -> None:
+        self._defaults = engine_defaults
+        self._entries: Dict[str, _Entry] = {}
+        self._lock = threading.Lock()
+
+    # -- registration -------------------------------------------------------
+
+    def add_document(self, name: str, document: IndexedDocument,
+                     **engine_options) -> None:
+        """Register an already-indexed document."""
+        self._register(name,
+                       lambda: Engine(document,
+                                      **self._options(engine_options)))
+
+    def add_engine(self, name: str, engine: Engine) -> None:
+        """Register a fully-configured engine as-is."""
+        entry = _Entry(lambda: engine)
+        self._register_entry(name, entry)
+
+    def add_xml(self, name: str, text: str, **engine_options) -> None:
+        """Register raw XML text; parsed and indexed on first use."""
+        self._register(name,
+                       lambda: Engine.from_xml(
+                           text, **self._options(engine_options)))
+
+    def add_file(self, name: str, path: str, **engine_options) -> None:
+        """Register an XML file; read and indexed on first use."""
+        self._register(name,
+                       lambda: Engine.from_file(
+                           path, **self._options(engine_options)))
+
+    def add_factory(self, name: str,
+                    factory: Callable[[], IndexedDocument],
+                    **engine_options) -> None:
+        """Register a document factory (e.g. a synthetic generator);
+        called once, on first use."""
+        self._register(name,
+                       lambda: Engine(factory(),
+                                      **self._options(engine_options)))
+
+    def _options(self, overrides: Dict) -> Dict:
+        options = dict(self._defaults)
+        options.update(overrides)
+        return options
+
+    def _register(self, name: str, loader: Callable[[], Engine]) -> None:
+        self._register_entry(name, _Entry(loader))
+
+    def _register_entry(self, name: str, entry: _Entry) -> None:
+        if not name or not isinstance(name, str):
+            raise InputError(
+                f"document name must be a non-empty string, got {name!r}")
+        with self._lock:
+            if name in self._entries:
+                raise InputError(f"document {name!r} is already registered",
+                                 document=name)
+            self._entries[name] = entry
+
+    # -- lookup -------------------------------------------------------------
+
+    def engine(self, name: str) -> Engine:
+        """The shared engine for ``name`` (building it on first use)."""
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise InputError(
+                f"unknown document {name!r}; registered: "
+                f"{', '.join(sorted(self._entries)) or '(none)'}",
+                document=name)
+        return entry.get()
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def remove(self, name: str) -> None:
+        """Drop a document (in-flight requests keep their engine alive)."""
+        with self._lock:
+            self._entries.pop(name, None)

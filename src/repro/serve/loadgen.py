@@ -1,0 +1,231 @@
+"""Closed-loop load generator for :class:`~repro.serve.QueryService`.
+
+Drives a service with a **seeded, mixed workload** — the paper's QE1–QE6
+tree-pattern queries over a MemBeR document plus a slice of the adapted
+XMark catalog — from N closed-loop clients (each waits for its response
+before sending the next request, the standard closed-loop model whose
+offered load adapts to service capacity).
+
+Every response is checked against a **sequential baseline** computed on
+the same engines before the load starts, so the harness doubles as a
+concurrency differential test: any mismatch means a thread-safety bug,
+and :class:`LoadReport` carries the count for CI to fail on
+(``python -m repro serve-bench --check``).
+
+Determinism: the request *schedule* is seeded per client; wall-clock
+latencies of course vary run to run, result sets never do.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bench.harness import QE_QUERIES, scaled
+from ..bench.xmark_queries import XMARK_CATALOG
+from ..data import member_document, xmark_document
+from ..guard import ReproError, ServiceOverloaded
+from .catalog import DocumentCatalog
+from .metrics import ServiceStats
+from .service import QueryRequest, QueryService
+
+__all__ = ["LoadReport", "default_catalog", "mixed_workload", "run_load"]
+
+#: XMark catalog entries in the default mix (construction-free,
+#: non-positional, cheap enough for a load loop).
+_XMARK_PICKS = ("XQ1", "XQ3", "XQ6", "XQ13", "XQ15", "XQ19")
+
+#: strategies cycled through the mix; ``None`` means the engine default.
+_STRATEGY_MIX: Tuple[Optional[str], ...] = (None, "twigjoin", "scjoin",
+                                            "auto")
+
+
+def default_catalog(member_nodes: int = 4_000,
+                    xmark_persons: int = 60,
+                    seed: int = 20070415) -> DocumentCatalog:
+    """The benchmark catalog: one MemBeR and one XMark document, sized
+    through ``REPRO_SCALE`` like every other benchmark workload."""
+    catalog = DocumentCatalog()
+    catalog.add_factory(
+        "member", lambda: member_document(scaled(member_nodes), depth=4,
+                                          tag_count=100, seed=seed))
+    catalog.add_factory(
+        "xmark", lambda: xmark_document(scaled(xmark_persons, minimum=10),
+                                        seed=seed))
+    return catalog
+
+
+def mixed_workload(seed: int = 1) -> List[QueryRequest]:
+    """The deterministic request mix: QE1–QE6 on ``member`` and the
+    XMark picks on ``xmark``, each appearing once per strategy in the
+    rotation, shuffled by ``seed``."""
+    entries: List[Tuple[str, str]] = \
+        [("member", query) for query in QE_QUERIES.values()] + \
+        [("xmark", XMARK_CATALOG[name].query) for name in _XMARK_PICKS]
+    requests = [
+        QueryRequest(document=document, query=query,
+                     strategy=_STRATEGY_MIX[index % len(_STRATEGY_MIX)])
+        for index, (document, query) in enumerate(entries)]
+    random.Random(seed).shuffle(requests)
+    return requests
+
+
+def _result_key(results: List) -> Tuple:
+    """A comparable key for a result sequence: node identity (``pre``)
+    for nodes, the value itself for atomics."""
+    return tuple(getattr(item, "pre", item) for item in results)
+
+
+@dataclass
+class LoadReport:
+    """What one :func:`run_load` observed."""
+
+    workers: int
+    concurrency: int
+    attempted: int
+    succeeded: int
+    shed: int
+    errors: int
+    mismatches: int
+    coalesced: int
+    wall_seconds: float
+    stats: ServiceStats
+    #: error strings of non-shed failures, bounded (first 8).
+    error_samples: List[str] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.succeeded / self.wall_seconds \
+            if self.wall_seconds > 0 else 0.0
+
+    def row(self) -> Dict[str, float]:
+        """One table row for the benchmark renderer."""
+        return {
+            "clients": self.concurrency,
+            "qps": self.throughput,
+            "p50_ms": self.stats.latency_p50 * 1e3,
+            "p95_ms": self.stats.latency_p95 * 1e3,
+            "p99_ms": self.stats.latency_p99 * 1e3,
+            "shed": self.shed,
+            "coalesced": self.coalesced,
+        }
+
+    def report(self) -> str:
+        lines = [
+            f"load       : {self.concurrency} clients x closed loop, "
+            f"{self.workers} workers",
+            f"requests   : attempted={self.attempted} "
+            f"succeeded={self.succeeded} shed={self.shed} "
+            f"errors={self.errors} mismatches={self.mismatches}",
+            f"throughput : {self.throughput:.1f} qps "
+            f"({self.wall_seconds:.2f} s wall)",
+        ]
+        lines.extend(self.stats.report().splitlines())
+        for sample in self.error_samples:
+            lines.append(f"error      : {sample}")
+        return "\n".join(lines)
+
+
+def run_load(service: QueryService,
+             workload: Optional[List[QueryRequest]] = None,
+             concurrency: int = 8,
+             requests_per_client: int = 25,
+             seed: int = 1,
+             timeout: Optional[float] = None,
+             coalesce_burst: int = 4) -> LoadReport:
+    """Run the closed loop and return a verified :class:`LoadReport`.
+
+    ``timeout`` attaches a per-request deadline; ``coalesce_burst``
+    submits that many back-to-back duplicates of the first workload
+    entry before the clients start, exercising the coalescing path
+    deterministically (0 disables).
+    """
+    workload = workload if workload is not None else mixed_workload(seed)
+    if not workload:
+        raise ValueError("workload must contain at least one request")
+    # Sequential baseline on the same engines, before any concurrency.
+    expected: Dict[Tuple, Tuple] = {}
+    for request in workload:
+        engine = service.catalog.engine(request.document)
+        compiled = engine.compile(request.query, optimize=request.optimize)
+        results = engine.execute(compiled, strategy=request.strategy,
+                                 optimized=request.optimize)
+        expected[request.coalesce_key()] = _result_key(results)
+
+    lock = threading.Lock()
+    totals = {"attempted": 0, "succeeded": 0, "shed": 0, "errors": 0,
+              "mismatches": 0}
+    error_samples: List[str] = []
+
+    def record_error(err: Exception) -> None:
+        with lock:
+            totals["errors"] += 1
+            if len(error_samples) < 8:
+                error_samples.append(f"{type(err).__name__}: {err}")
+
+    def check(request: QueryRequest, results: List) -> None:
+        with lock:
+            totals["succeeded"] += 1
+            if _result_key(results) != expected[request.coalesce_key()]:
+                totals["mismatches"] += 1
+
+    def client(client_index: int) -> None:
+        rng = random.Random(seed * 7919 + client_index)
+        for _ in range(requests_per_client):
+            request = workload[rng.randrange(len(workload))]
+            if timeout is not None:
+                request = QueryRequest(document=request.document,
+                                       query=request.query,
+                                       strategy=request.strategy,
+                                       timeout=timeout,
+                                       optimize=request.optimize)
+            with lock:
+                totals["attempted"] += 1
+            try:
+                results = service.submit(request).result()
+            except ServiceOverloaded:
+                with lock:
+                    totals["shed"] += 1
+                continue
+            except ReproError as err:
+                record_error(err)
+                continue
+            check(request, results)
+
+    start = time.perf_counter()
+    if coalesce_burst:
+        # A back-to-back duplicate burst: the first submit becomes the
+        # leader (a worker needs milliseconds to pick it up and run it;
+        # the follow-up submits land microseconds later), the rest
+        # coalesce onto it.
+        burst = [service.submit(workload[0])
+                 for _ in range(max(coalesce_burst, 1))]
+        for pending in burst:
+            with lock:
+                totals["attempted"] += 1
+            try:
+                check(workload[0], pending.result())
+            except ReproError as err:
+                record_error(err)
+    threads = [threading.Thread(target=client, args=(index,),
+                                name=f"loadgen-{index}")
+               for index in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+
+    stats = service.stats()
+    return LoadReport(workers=service.worker_count,
+                      concurrency=concurrency,
+                      attempted=totals["attempted"],
+                      succeeded=totals["succeeded"],
+                      shed=totals["shed"], errors=totals["errors"],
+                      mismatches=totals["mismatches"],
+                      coalesced=stats.coalesced,
+                      wall_seconds=wall, stats=stats,
+                      error_samples=error_samples)

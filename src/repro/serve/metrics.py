@@ -1,0 +1,252 @@
+"""Service-level metrics: QPS, queue depth, sheds, coalescing, latency.
+
+:class:`ServiceMetrics` aggregates what :class:`repro.serve.QueryService`
+does *between* queries — admission, shedding, coalescing, queueing — on
+top of the per-query counters :mod:`repro.obs` already provides.  All
+updates happen under one internal lock (they are a handful of integer
+adds, far off the query hot path), and :meth:`ServiceMetrics.stats`
+returns an immutable :class:`ServiceStats` snapshot so callers never
+observe torn state.
+
+Latency is recorded in a :class:`LatencyHistogram` — fixed
+logarithmic buckets from 1 µs to ~100 s, constant memory regardless of
+request count — from which p50/p95/p99 are interpolated.  Percentiles
+from log buckets are exact to within one bucket width (~26%), the usual
+production trade-off (HdrHistogram-style) and plenty to rank strategies
+or spot a queueing collapse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "ServiceStats"]
+
+#: histogram bucket geometry: the first upper bound (seconds) and the
+#: multiplicative step between bounds.  72 buckets of ×1.26 span
+#: 1 µs … ~100 s; everything slower lands in the overflow bucket.
+_FIRST_BOUND = 1e-6
+_GROWTH = 1.26
+_BUCKETS = 72
+
+
+def _bounds() -> List[float]:
+    bounds, bound = [], _FIRST_BOUND
+    for _ in range(_BUCKETS):
+        bounds.append(bound)
+        bound *= _GROWTH
+    return bounds
+
+
+class LatencyHistogram:
+    """Fixed-size logarithmic latency histogram (seconds).
+
+    Not thread-safe by itself: :class:`ServiceMetrics` serializes access
+    under its own lock.
+    """
+
+    BOUNDS: Tuple[float, ...] = tuple(_bounds())
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(self.BOUNDS) + 1)  # +1: overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        seconds = max(seconds, 0.0)
+        index = self._index(seconds)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = seconds if self.min is None else min(self.min, seconds)
+        self.max = seconds if self.max is None else max(self.max, seconds)
+
+    def _index(self, seconds: float) -> int:
+        # Binary search beats a log() call in pure Python for 72 buckets.
+        low, high = 0, len(self.BOUNDS)
+        while low < high:
+            mid = (low + high) // 2
+            if seconds <= self.BOUNDS[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        return low
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The latency at quantile ``q`` (0 < q <= 1), interpolated to
+        the upper bound of the bucket the quantile falls in; 0.0 when
+        empty."""
+        if not self.count:
+            return 0.0
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        rank = q * self.count
+        observed_max = self.max if self.max is not None else 0.0
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(self.BOUNDS):
+                    # The bucket's upper bound, clamped to the observed
+                    # maximum so quantiles never exceed a real latency.
+                    return min(self.BOUNDS[index], observed_max)
+                return observed_max
+        return observed_max
+
+    def snapshot(self) -> "LatencyHistogram":
+        copy = LatencyHistogram()
+        copy.counts = list(self.counts)
+        copy.count = self.count
+        copy.total = self.total
+        copy.min = self.min
+        copy.max = self.max
+        return copy
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """An immutable snapshot of one :class:`ServiceMetrics`."""
+
+    submitted: int
+    accepted: int
+    completed: int
+    failed: int
+    shed: int
+    coalesced: int
+    deadline_expired: int
+    queue_depth: int
+    in_flight: int
+    uptime_seconds: float
+    qps: float
+    latency_count: int
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_max: float
+    queue_wait_p95: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "submitted": self.submitted, "accepted": self.accepted,
+            "completed": self.completed, "failed": self.failed,
+            "shed": self.shed, "coalesced": self.coalesced,
+            "deadline_expired": self.deadline_expired,
+            "queue_depth": self.queue_depth, "in_flight": self.in_flight,
+            "uptime_seconds": self.uptime_seconds, "qps": self.qps,
+            "latency": {
+                "count": self.latency_count, "mean": self.latency_mean,
+                "p50": self.latency_p50, "p95": self.latency_p95,
+                "p99": self.latency_p99, "max": self.latency_max,
+            },
+            "queue_wait_p95": self.queue_wait_p95,
+        }
+
+    def report(self) -> str:
+        lines = [
+            f"requests   : submitted={self.submitted} "
+            f"accepted={self.accepted} completed={self.completed} "
+            f"failed={self.failed}",
+            f"backpressure: shed={self.shed} coalesced={self.coalesced} "
+            f"deadline_expired={self.deadline_expired}",
+            f"queue      : depth={self.queue_depth} "
+            f"in_flight={self.in_flight} "
+            f"wait_p95={self.queue_wait_p95 * 1e3:.3f} ms",
+            f"throughput : {self.qps:.1f} qps over "
+            f"{self.uptime_seconds:.2f} s",
+            f"latency    : p50={self.latency_p50 * 1e3:.3f} ms "
+            f"p95={self.latency_p95 * 1e3:.3f} ms "
+            f"p99={self.latency_p99 * 1e3:.3f} ms "
+            f"max={self.latency_max * 1e3:.3f} ms "
+            f"(n={self.latency_count})",
+        ]
+        return "\n".join(lines)
+
+
+class ServiceMetrics:
+    """Thread-safe aggregate counters for a :class:`QueryService`.
+
+    Counter semantics: every request is *submitted*; it is then either
+    *shed* (queue full), *coalesced* (attached to an identical in-flight
+    request) or *accepted* (enqueued for a worker).  Accepted requests
+    end *completed* or *failed*; ``deadline_expired`` counts the subset
+    of failures whose deadline lapsed while still queued.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.started = clock()
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.accepted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.coalesced = 0
+        self.deadline_expired = 0
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+
+    # -- recording (called by the service) ---------------------------------
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_accepted(self) -> None:
+        with self._lock:
+            self.accepted += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced += 1
+
+    def record_done(self, latency_seconds: float, queue_seconds: float,
+                    failed: bool, deadline_expired: bool = False) -> None:
+        with self._lock:
+            if failed:
+                self.failed += 1
+                if deadline_expired:
+                    self.deadline_expired += 1
+            else:
+                self.completed += 1
+            self.latency.record(latency_seconds)
+            self.queue_wait.record(queue_seconds)
+
+    # -- views --------------------------------------------------------------
+
+    def stats(self, queue_depth: int = 0,
+              in_flight: int = 0) -> ServiceStats:
+        """An immutable snapshot (the service passes the live queue
+        depth and in-flight count; standalone callers may omit them)."""
+        with self._lock:
+            uptime = max(self._clock() - self.started, 1e-9)
+            latency = self.latency
+            return ServiceStats(
+                submitted=self.submitted, accepted=self.accepted,
+                completed=self.completed, failed=self.failed,
+                shed=self.shed, coalesced=self.coalesced,
+                deadline_expired=self.deadline_expired,
+                queue_depth=queue_depth, in_flight=in_flight,
+                uptime_seconds=uptime,
+                qps=self.completed / uptime,
+                latency_count=latency.count,
+                latency_mean=latency.mean,
+                latency_p50=latency.quantile(0.50),
+                latency_p95=latency.quantile(0.95),
+                latency_p99=latency.quantile(0.99),
+                latency_max=latency.max or 0.0,
+                queue_wait_p95=self.queue_wait.quantile(0.95))

@@ -1,0 +1,372 @@
+"""The concurrent query service: admission, workers, coalescing.
+
+:class:`QueryService` turns a :class:`~repro.serve.DocumentCatalog`
+into a multi-tenant query endpoint with the three properties a serving
+layer needs under load:
+
+* **bounded admission** — requests wait in a fixed-capacity queue; when
+  it is full, :meth:`QueryService.submit` sheds the request immediately
+  with a typed :class:`~repro.guard.ServiceOverloaded` instead of
+  letting work pile up without bound (backpressure, not collapse);
+* **deadlines** — a per-request ``timeout`` becomes a wall deadline
+  fixed at admission.  Time spent queued counts against it; whatever
+  remains when a worker picks the request up is mapped onto
+  :class:`~repro.guard.Budgets` so the engine's own governor aborts a
+  slow query mid-flight — one slow query cannot starve the pool;
+* **request coalescing** — identical in-flight requests (same document,
+  query text, strategy and optimize flag) share a single execution: the
+  first becomes the *leader*, later duplicates attach to its pending
+  result and are never enqueued.  Thundering herds of a hot query cost
+  one evaluation.
+
+Results are deterministic: workers only ever *read* the shared,
+immutable engines (the plan cache and summary builds are internally
+locked, see PR notes in :mod:`repro.obs` / :mod:`repro.xmltree.
+document`), so a response is byte-identical to a sequential
+``engine.run()`` of the same request.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..guard import (Budgets, BudgetExceeded, ServiceClosed,
+                     ServiceOverloaded)
+from .catalog import DocumentCatalog
+from .metrics import ServiceMetrics, ServiceStats
+
+__all__ = ["QueryRequest", "QueryResponse", "PendingQuery", "QueryService"]
+
+#: default admission-queue capacity (requests waiting for a worker).
+DEFAULT_QUEUE_LIMIT = 128
+
+#: default worker count.
+DEFAULT_WORKERS = 4
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query against one named catalog document."""
+
+    document: str
+    query: str
+    strategy: Optional[str] = None
+    #: wall-clock deadline in seconds, measured from admission (queue
+    #: wait included); ``None`` inherits only the service's default
+    #: budgets.
+    timeout: Optional[float] = None
+    optimize: bool = True
+
+    def coalesce_key(self) -> Tuple[Hashable, ...]:
+        """Requests with equal keys may share one execution.  The
+        deadline is deliberately excluded: a follower rides the
+        leader's execution whatever its own timeout was."""
+        return (self.document, self.query, self.strategy, self.optimize)
+
+
+@dataclass
+class QueryResponse:
+    """The outcome of one executed request (shared by coalesced
+    followers — ``coalesced`` on the :class:`PendingQuery` handle, not
+    here, says how *this caller* got it)."""
+
+    request: QueryRequest
+    results: Optional[List] = None
+    error: Optional[Exception] = None
+    #: seconds from admission to a worker picking the request up.
+    queue_seconds: float = 0.0
+    #: seconds the worker spent compiling + executing.
+    exec_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.queue_seconds + self.exec_seconds
+
+    def unwrap(self) -> List:
+        """The result sequence, re-raising the execution error if any."""
+        if self.error is not None:
+            raise self.error
+        assert self.results is not None
+        return self.results
+
+
+class _Execution:
+    """Shared state of one admitted execution (leader + followers)."""
+
+    def __init__(self, request: QueryRequest, admitted: float,
+                 deadline: Optional[float]) -> None:
+        self.request = request
+        self.admitted = admitted
+        self.deadline = deadline
+        self.response: Optional[QueryResponse] = None
+        self.done = threading.Event()
+
+
+class PendingQuery:
+    """A caller's handle on an admitted (or coalesced) request."""
+
+    def __init__(self, execution: _Execution, coalesced: bool) -> None:
+        self._execution = execution
+        #: True when this handle attached to an identical in-flight
+        #: request instead of enqueueing its own execution.
+        self.coalesced = coalesced
+
+    @property
+    def request(self) -> QueryRequest:
+        return self._execution.request
+
+    def done(self) -> bool:
+        return self._execution.done.is_set()
+
+    def response(self, timeout: Optional[float] = None) -> QueryResponse:
+        """Block until the execution finishes and return its response
+        (errors stay wrapped); raises :class:`TimeoutError` if it does
+        not finish within ``timeout`` seconds."""
+        if not self._execution.done.wait(timeout):
+            raise TimeoutError(
+                f"query {self.request.query!r} still pending after "
+                f"{timeout} s")
+        assert self._execution.response is not None
+        return self._execution.response
+
+    def result(self, timeout: Optional[float] = None) -> List:
+        """Block for the result sequence, re-raising execution errors."""
+        return self.response(timeout).unwrap()
+
+
+class QueryService:
+    """A thread-pool query service over a :class:`DocumentCatalog`.
+
+    ::
+
+        catalog = DocumentCatalog()
+        catalog.add_xml("site", "<site>...</site>")
+        with QueryService(catalog, workers=4, queue_limit=64) as service:
+            names = service.query("site", "$input//person/name")
+
+    ``default_budgets`` apply to every request (per-request deadlines
+    tighten, never loosen, the wall budget).  ``queue_limit`` bounds the
+    *waiting* requests only; in-flight executions are bounded by
+    ``workers``.
+    """
+
+    def __init__(self, catalog: DocumentCatalog,
+                 workers: int = DEFAULT_WORKERS,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 default_budgets: Optional[Budgets] = None,
+                 clock=time.perf_counter) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.catalog = catalog
+        self.queue_limit = queue_limit
+        self.default_budgets = default_budgets
+        self.metrics = ServiceMetrics(clock=clock)
+        self._clock = clock
+        self._queue: "queue_module.Queue[Any]" = \
+            queue_module.Queue(maxsize=queue_limit)
+        self._inflight: Dict[Tuple[Hashable, ...], _Execution] = {}
+        self._admission_lock = threading.Lock()
+        self._in_flight_count = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-serve-{index}", daemon=True)
+            for index in range(workers)]
+        for thread in self._workers:
+            thread.start()
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> PendingQuery:
+        """Admit, coalesce or shed a request (never blocks).
+
+        Raises :class:`~repro.guard.ServiceOverloaded` when the
+        admission queue is full and :class:`~repro.guard.ServiceClosed`
+        after :meth:`close`.
+        """
+        self.metrics.record_submitted()
+        key = request.coalesce_key()
+        with self._admission_lock:
+            if self._closed:
+                raise ServiceClosed("query service is closed")
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.metrics.record_coalesced()
+                return PendingQuery(existing, coalesced=True)
+            admitted = self._clock()
+            deadline = None
+            if request.timeout is not None:
+                deadline = admitted + request.timeout
+            execution = _Execution(request, admitted, deadline)
+            try:
+                self._queue.put_nowait(execution)
+            except queue_module.Full:
+                self.metrics.record_shed()
+                raise ServiceOverloaded(
+                    f"admission queue full ({self.queue_limit} waiting); "
+                    f"request shed — retry later or lower concurrency",
+                    queue_depth=self._queue.qsize(),
+                    queue_limit=self.queue_limit) from None
+            self._inflight[key] = execution
+            self.metrics.record_accepted()
+        return PendingQuery(execution, coalesced=False)
+
+    def query(self, document: str, query: str,
+              strategy: Optional[str] = None,
+              timeout: Optional[float] = None,
+              optimize: bool = True) -> List:
+        """Submit one request and block for its results."""
+        pending = self.submit(QueryRequest(document=document, query=query,
+                                           strategy=strategy,
+                                           timeout=timeout,
+                                           optimize=optimize))
+        return pending.result()
+
+    # -- workers ------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            execution = self._queue.get()
+            if execution is _SENTINEL:
+                self._queue.task_done()
+                return
+            try:
+                self._run(execution)
+            finally:
+                self._queue.task_done()
+
+    def _run(self, execution: _Execution) -> None:
+        started = self._clock()
+        queue_seconds = started - execution.admitted
+        with self._admission_lock:
+            self._in_flight_count += 1
+        response = QueryResponse(request=execution.request,
+                                 queue_seconds=queue_seconds)
+        deadline_expired = False
+        try:
+            request = execution.request
+            remaining = None
+            if execution.deadline is not None:
+                remaining = execution.deadline - started
+                if remaining <= 0:
+                    # The deadline lapsed while queued: charge the wait,
+                    # skip the execution entirely.
+                    deadline_expired = True
+                    raise BudgetExceeded(
+                        "wall", request.timeout or 0.0, queue_seconds,
+                        elapsed_seconds=queue_seconds)
+            engine = self.catalog.engine(request.document)
+            budgets = self._budgets_for(remaining)
+            compiled = engine.compile(request.query,
+                                      optimize=request.optimize)
+            response.results = engine.execute(
+                compiled, strategy=request.strategy,
+                optimized=request.optimize, budgets=budgets)
+        except Exception as err:  # typed errors travel to the waiters
+            response.error = err
+            if isinstance(err, BudgetExceeded) and err.kind == "wall":
+                deadline_expired = True
+        finally:
+            response.exec_seconds = self._clock() - started
+            key = execution.request.coalesce_key()
+            with self._admission_lock:
+                if self._inflight.get(key) is execution:
+                    del self._inflight[key]
+                self._in_flight_count -= 1
+            execution.response = response
+            execution.done.set()
+            self.metrics.record_done(
+                latency_seconds=response.total_seconds,
+                queue_seconds=queue_seconds,
+                failed=response.error is not None,
+                deadline_expired=deadline_expired)
+
+    def _budgets_for(self, remaining: Optional[float]) -> Optional[Budgets]:
+        """The service defaults with the wall budget tightened to the
+        request's remaining deadline (whichever is smaller)."""
+        budgets = self.default_budgets
+        if remaining is None:
+            return budgets
+        if budgets is None:
+            return Budgets(wall_seconds=remaining)
+        if budgets.wall_seconds is None or remaining < budgets.wall_seconds:
+            return replace(budgets, wall_seconds=remaining)
+        return budgets
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of the service counters (see
+        :class:`~repro.serve.metrics.ServiceStats`)."""
+        with self._admission_lock:
+            in_flight = self._in_flight_count
+        return self.metrics.stats(queue_depth=self._queue.qsize(),
+                                  in_flight=in_flight)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admitting requests and shut the workers down.
+
+        With ``drain=True`` (default) queued requests finish first;
+        with ``drain=False`` still-queued requests fail with
+        :class:`~repro.guard.ServiceClosed`.  Idempotent.
+        """
+        with self._admission_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            self._fail_queued()
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for thread in self._workers:
+            thread.join()
+        if not drain:
+            self._fail_queued()
+
+    def _fail_queued(self) -> None:
+        while True:
+            try:
+                execution = self._queue.get_nowait()
+            except queue_module.Empty:
+                return
+            self._queue.task_done()
+            if execution is _SENTINEL:
+                continue
+            execution.response = QueryResponse(
+                request=execution.request,
+                error=ServiceClosed("service closed before execution"))
+            key = execution.request.coalesce_key()
+            with self._admission_lock:
+                if self._inflight.get(key) is execution:
+                    del self._inflight[key]
+            execution.done.set()
+            self.metrics.record_done(latency_seconds=0.0, queue_seconds=0.0,
+                                     failed=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

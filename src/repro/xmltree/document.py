@@ -13,6 +13,7 @@ duplicate elimination — the dynamic counterpart of the special function
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
@@ -31,6 +32,7 @@ class IndexedDocument:
         self.attribute_streams: dict[str, list[AttributeNode]] = {}
         self.text_stream: list[TextNode] = []
         self._summary = None
+        self._summary_lock = threading.Lock()
         self._build()
 
     @classmethod
@@ -97,10 +99,18 @@ class IndexedDocument:
         """The document's structural path summary (see
         :mod:`repro.xmltree.summary`), built on first access and cached
         for the document's lifetime — documents are immutable, so the
-        summary never needs invalidation."""
+        summary never needs invalidation.
+
+        The build is double-check locked: concurrent first accesses
+        (e.g. a :mod:`repro.serve` worker pool warming one document)
+        build the summary exactly once, and the fast path after that
+        stays a single attribute read.
+        """
         if self._summary is None:
-            from .summary import PathSummary
-            self._summary = PathSummary(self)
+            with self._summary_lock:
+                if self._summary is None:
+                    from .summary import PathSummary
+                    self._summary = PathSummary(self)
         return self._summary
 
     def node_at(self, pre: int) -> Node:

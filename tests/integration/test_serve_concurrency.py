@@ -1,0 +1,205 @@
+"""Concurrency stress: shared engines and the query service under load.
+
+The acceptance bar for the serving layer: with 4+ workers on the seeded
+mixed QE1–QE6 workload, every accepted request returns results
+*identical* to a sequential run; a full queue sheds with
+``ServiceOverloaded`` (and never deadlocks); duplicate in-flight
+requests coalesce.  These tests also hammer one bare ``Engine`` from
+many threads, which is what makes the PlanCache/summary locking load-
+bearing rather than theoretical.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Engine, IndexedDocument
+from repro.bench.harness import QE_QUERIES
+from repro.data import member_document
+from repro.guard import ServiceOverloaded
+from repro.obs import PlanCache
+from repro.serve import (DocumentCatalog, QueryRequest, QueryService,
+                         default_catalog, mixed_workload, run_load)
+
+THREADS = 8
+ROUNDS = 3
+
+
+def result_keys(results):
+    return tuple(getattr(item, "pre", item) for item in results)
+
+
+@pytest.fixture(scope="module")
+def member_doc() -> IndexedDocument:
+    return member_document(1_500, depth=4, tag_count=10, seed=42)
+
+
+class TestEngineThreadSafety:
+    def test_one_engine_hammered_matches_sequential(self, member_doc):
+        """N threads × QE1–QE6 on one shared Engine, byte-equal to a
+        sequential baseline on a fresh engine."""
+        baseline_engine = Engine(member_doc)
+        expected = {name: result_keys(baseline_engine.run(query))
+                    for name, query in QE_QUERIES.items()}
+        shared = Engine(member_doc, plan_cache_size=4)
+        failures = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            for _ in range(ROUNDS):
+                for name, query in QE_QUERIES.items():
+                    try:
+                        got = result_keys(shared.run(query))
+                    except Exception as err:   # noqa: BLE001
+                        failures.append(f"{name}: raised {err!r}")
+                        continue
+                    if got != expected[name]:
+                        failures.append(f"{name}: diverged")
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        stats = shared.plan_cache.stats
+        assert stats.lookups == stats.hits + stats.misses
+        assert len(shared.plan_cache) <= 4
+
+    def test_concurrent_summary_build_is_single(self):
+        document = member_document(800, depth=4, tag_count=6, seed=9)
+        barrier = threading.Barrier(THREADS)
+        summaries = []
+
+        def fetch() -> None:
+            barrier.wait()
+            summaries.append(document.summary)
+
+        threads = [threading.Thread(target=fetch) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(summaries) == THREADS
+        assert all(summary is summaries[0] for summary in summaries)
+
+    def test_plan_cache_concurrent_mutation_stays_bounded(self):
+        cache = PlanCache(max_size=8)
+        barrier = threading.Barrier(THREADS)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            for round_number in range(200):
+                key = (index * 7 + round_number) % 24
+                if cache.get(key) is None:
+                    cache.put(key, object())
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.stats
+        assert len(cache) <= 8
+        assert stats.lookups == THREADS * 200
+        assert stats.evictions >= 1
+
+
+class TestServiceUnderLoad:
+    def test_mixed_workload_differential(self):
+        """4 workers, 8 closed-loop clients, seeded QE1–QE6 + XMark mix:
+        zero mismatches against the sequential baseline, and the
+        coalescing burst registers hits."""
+        service = QueryService(
+            default_catalog(member_nodes=1_200, xmark_persons=20, seed=5),
+            workers=4, queue_limit=256)
+        try:
+            report = run_load(service, concurrency=8,
+                              requests_per_client=10, seed=5)
+        finally:
+            service.close()
+        assert report.mismatches == 0
+        assert report.errors == 0
+        assert report.shed == 0
+        assert report.succeeded == report.attempted
+        assert report.coalesced >= 1
+        stats = report.stats
+        assert stats.completed == stats.accepted
+        assert stats.latency_p50 <= stats.latency_p95 <= stats.latency_p99
+
+    def test_full_queue_sheds_and_never_deadlocks(self, member_doc):
+        """Far more offered load than a tiny queue can hold: some
+        requests shed with ServiceOverloaded, everything else completes,
+        and close() returns (no deadlock)."""
+        catalog = DocumentCatalog()
+        catalog.add_document("member", member_doc)
+        query = QE_QUERIES["QE4"]
+        expected = result_keys(catalog.engine("member").run(query))
+        service = QueryService(catalog, workers=2, queue_limit=2)
+        shed = []
+        mismatches = []
+
+        def client(index: int) -> None:
+            # Distinct query texts per client defeat coalescing, so the
+            # tiny queue genuinely fills.
+            variant = list(QE_QUERIES.values())[index % len(QE_QUERIES)]
+            reference = result_keys(
+                catalog.engine("member").run(variant))
+            for _ in range(6):
+                try:
+                    results = service.query("member", variant)
+                except ServiceOverloaded:
+                    shed.append(index)
+                    continue
+                if result_keys(results) != reference:
+                    mismatches.append(variant)
+
+        threads = [threading.Thread(target=client, args=(index,))
+                   for index in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service.close()
+        stats = service.stats()
+        assert mismatches == []
+        assert stats.shed == len(shed)
+        assert stats.completed + stats.failed == stats.accepted
+        # every accepted request got an answer; nothing is stuck
+        assert stats.queue_depth == 0
+        assert stats.in_flight == 0
+        # sanity: the reference results exist
+        assert expected
+
+    def test_deadline_storm_fails_cleanly(self):
+        """Sub-millisecond deadlines under queueing: expired requests
+        fail with the wall budget error, the rest still verify."""
+        service = QueryService(
+            default_catalog(member_nodes=1_000, xmark_persons=15, seed=3),
+            workers=2, queue_limit=256)
+        try:
+            report = run_load(service, concurrency=8,
+                              requests_per_client=6, seed=3,
+                              timeout=5e-4, coalesce_burst=0)
+        finally:
+            service.close()
+        stats = report.stats
+        assert report.mismatches == 0
+        assert stats.deadline_expired >= 1
+        assert stats.deadline_expired <= stats.failed
+        assert report.succeeded + report.errors + report.shed \
+            == report.attempted
+
+    def test_workload_is_deterministic(self):
+        first = mixed_workload(seed=11)
+        second = mixed_workload(seed=11)
+        other = mixed_workload(seed=12)
+        assert first == second
+        assert first != other
+        documents = {request.document for request in first}
+        assert documents == {"member", "xmark"}

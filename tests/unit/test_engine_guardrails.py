@@ -219,10 +219,20 @@ class TestTracedRunVisibility:
         assert "strategy fallback" in traced.report()
         assert "twigjoin -> nljoin" in traced.report()
 
+    def test_effective_strategy_reports_fallback_target(self,
+                                                        people_engine):
+        with inject(ChaosSpec(site="twigjoin.match")):
+            traced = people_engine.run_traced(QUERY, strategy="twigjoin")
+        assert traced.strategy == "twigjoin"
+        assert traced.effective_strategy == "nljoin"
+        assert "effective: nljoin" in traced.report()
+
     def test_clean_run_has_no_fallbacks(self, people_engine):
         traced = people_engine.run_traced(QUERY, strategy="twigjoin")
         assert traced.fallbacks == []
         assert "strategy fallback" not in traced.report()
+        assert traced.effective_strategy == traced.strategy
+        assert "effective:" not in traced.report()
 
     def test_fallbacks_serialize(self, people_engine):
         with inject(ChaosSpec(site="scjoin.match")):
