@@ -20,6 +20,7 @@ import bench_figure6
 import bench_selective
 import bench_serve
 import bench_table1
+import bench_trace
 import bench_xmark_catalog
 
 
@@ -42,6 +43,8 @@ def main() -> int:
          bench_extensions.generate_chooser_table),
         ("Serving layer under load (docs/SERVING.md, E8)",
          bench_serve.generate_table),
+        ("Tracing overhead (docs/TRACING.md, E9)",
+         bench_trace.generate_table),
     ]
     for title, generate in sections:
         start = time.perf_counter()

@@ -9,7 +9,7 @@ with ``dot -Tsvg`` or paste into any Graphviz viewer.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from ..pattern import PatternPath, TreePattern
 from .ops import (Arith, Compare, Const, DDOPlan, FieldAccess, FnCall,
@@ -22,8 +22,15 @@ def _escape(text: str) -> str:
     return text.replace("\\", "\\\\").replace('"', '\\"')
 
 
-def plan_to_dot(plan: Plan, name: str = "plan") -> str:
-    """Render a plan as a DOT digraph."""
+def plan_to_dot(plan: Plan, name: str = "plan",
+                annotations: Optional[Dict[int, str]] = None) -> str:
+    """Render a plan as a DOT digraph.
+
+    ``annotations`` optionally maps ``id(node)`` to an extra label line
+    (e.g. EXPLAIN ANALYZE per-operator time/cardinality annotations from
+    :meth:`repro.trace.ExplainAnalysis.dot_annotations`); annotated
+    nodes render bold so hot operators stand out.
+    """
     lines: List[str] = [f'digraph "{_escape(name)}" {{',
                         "  rankdir=BT;",
                         '  node [fontname="Helvetica", fontsize=11];']
@@ -33,9 +40,14 @@ def plan_to_dot(plan: Plan, name: str = "plan") -> str:
         identifier = f"n{counter[0]}"
         counter[0] += 1
         label, dependents, inputs = _describe(node)
+        extra = annotations.get(id(node)) if annotations else None
+        style = ""
+        if extra is not None:
+            label = f"{label}\\n{extra}"
+            style = ", style=bold"
         shape = "box" if isinstance(node, TuplePlan) else "ellipse"
         lines.append(f'  {identifier} [label="{_escape(label)}", '
-                     f'shape={shape}];')
+                     f'shape={shape}{style}];')
         for dependent in dependents:
             child_id = emit(dependent)
             lines.append(f'  {child_id} -> {identifier} [style=dashed, '
@@ -95,6 +107,11 @@ def _describe(node: Plan):
     if isinstance(node, TypeswitchPlan):
         return "typeswitch", [], list(node.children())
     return type(node).__name__, [], list(node.children())
+
+
+#: public alias: (label, dependent children, input children) — shared
+#: with the EXPLAIN ANALYZE renderer in :mod:`repro.trace.analyze`.
+describe_plan = _describe
 
 
 def pattern_to_dot(pattern: TreePattern, name: str = "pattern") -> str:

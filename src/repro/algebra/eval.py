@@ -16,7 +16,10 @@ algorithm" seam.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trace import Trace
 
 from ..guard.chaos import chaos_point
 from ..guard.errors import AlgorithmError
@@ -55,6 +58,11 @@ class EvalContext:
     #: its budgets and raises :class:`BudgetExceeded` on a trip
     #: (see :mod:`repro.guard.governor`).
     governor: Optional[ResourceGovernor] = None
+    #: when set, the evaluator opens one span per plan-operator
+    #: evaluation — carrying output cardinality — and aggregates exact
+    #: per-operator wall time into :attr:`repro.trace.Trace.op_stats`
+    #: (see :mod:`repro.trace`).
+    trace: Optional["Trace"] = None
 
     def lookup_var(self, var: Var) -> Sequence_:
         if var in self.variables:
@@ -80,20 +88,32 @@ def evaluate_plan(plan: Plan, context: EvalContext):
 def eval_item(plan: ItemPlan, ctx: EvalContext) -> Sequence_:
     metrics = ctx.metrics
     governor = ctx.governor
-    if metrics is None and governor is None:
+    trace = ctx.trace
+    if metrics is None and governor is None and trace is None:
         return _eval_item(plan, ctx)
     if metrics is not None:
         metrics.operator_evals[type(plan).__name__] += 1
-    if governor is None:
-        result = _eval_item(plan, ctx)
-    else:
-        governor.tick()
-        governor.enter()
-        try:
+    span = trace.begin_span(type(plan).__name__) \
+        if trace is not None else None
+    try:
+        if governor is None:
             result = _eval_item(plan, ctx)
-        finally:
-            governor.leave()
-        governor.note_output(len(result))
+        else:
+            governor.tick()
+            governor.enter()
+            try:
+                result = _eval_item(plan, ctx)
+            finally:
+                governor.leave()
+            governor.note_output(len(result))
+    except BaseException:
+        if span is not None:
+            trace.end_span(span, error=True)
+        raise
+    if span is not None:
+        trace.end_span(span, rows=len(result))
+        trace.record_op(id(plan), type(plan).__name__, span.duration,
+                        len(result))
     if metrics is not None:
         metrics.items_produced += len(result)
     return result
@@ -201,20 +221,32 @@ def _with_binding(ctx: EvalContext, var: Var, value: Sequence_,
 def eval_tuples(plan: TuplePlan, ctx: EvalContext) -> List[Tuple_]:
     metrics = ctx.metrics
     governor = ctx.governor
-    if metrics is None and governor is None:
+    trace = ctx.trace
+    if metrics is None and governor is None and trace is None:
         return _eval_tuples(plan, ctx)
     if metrics is not None:
         metrics.operator_evals[type(plan).__name__] += 1
-    if governor is None:
-        result = _eval_tuples(plan, ctx)
-    else:
-        governor.tick()
-        governor.enter()
-        try:
+    span = trace.begin_span(type(plan).__name__) \
+        if trace is not None else None
+    try:
+        if governor is None:
             result = _eval_tuples(plan, ctx)
-        finally:
-            governor.leave()
-        governor.note_output(len(result))
+        else:
+            governor.tick()
+            governor.enter()
+            try:
+                result = _eval_tuples(plan, ctx)
+            finally:
+                governor.leave()
+            governor.note_output(len(result))
+    except BaseException:
+        if span is not None:
+            trace.end_span(span, error=True)
+        raise
+    if span is not None:
+        trace.end_span(span, rows=len(result))
+        trace.record_op(id(plan), type(plan).__name__, span.duration,
+                        len(result))
     if metrics is not None:
         metrics.tuples_produced += len(result)
     return result

@@ -89,6 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable the positional-pattern extension")
     explain.add_argument("--metrics", action="store_true",
                          help="include per-stage compile timings")
+    explain.add_argument("--analyze", action="store_true",
+                         help="EXPLAIN ANALYZE: execute the query once "
+                              "under a trace and annotate the plan with "
+                              "measured per-operator wall time and "
+                              "cardinalities (see docs/TRACING.md)")
+    explain.add_argument("--strategy", choices=_STRATEGY_CHOICES,
+                         default=None,
+                         help="strategy for the --analyze execution")
+    explain.add_argument("--dot", default=None, metavar="FILE",
+                         help="with --analyze: also write the annotated "
+                              "plan graph as Graphviz DOT to FILE")
 
     compare = commands.add_parser(
         "compare", help="time every strategy on one query")
@@ -134,6 +145,26 @@ def build_parser() -> argparse.ArgumentParser:
                              help="exit non-zero on any differential "
                                   "mismatch, error or shed request "
                                   "(for CI smoke runs)")
+    serve_bench.add_argument("--trace", action="store_true",
+                             help="attach a span tracer to the service "
+                                  "(per-request traces + flight "
+                                  "recorder; see docs/TRACING.md)")
+    serve_bench.add_argument("--trace-sample", type=float, default=None,
+                             metavar="RATIO",
+                             help="trace only this fraction of requests "
+                                  "(deterministic sampler; implies "
+                                  "--trace)")
+    serve_bench.add_argument("--trace-out", default=None, metavar="FILE",
+                             help="write every finished request trace "
+                                  "as Chrome trace JSON (implies "
+                                  "--trace; open in chrome://tracing)")
+    serve_bench.add_argument("--prom-out", default=None, metavar="FILE",
+                             help="write service metrics + tracer "
+                                  "aggregates in Prometheus text format")
+    serve_bench.add_argument("--flight-out", default=None, metavar="FILE",
+                             help="write the flight recorder's retained "
+                                  "traces (K slowest + most recent) as "
+                                  "Chrome trace JSON (implies --trace)")
 
     generate = commands.add_parser(
         "generate", help="write a synthetic benchmark document")
@@ -207,6 +238,16 @@ def _command_query(args, out) -> int:
 
 def _command_explain(args, out) -> int:
     engine = _load_engine(args)
+    if args.analyze:
+        analysis = engine.explain_analyze(args.expression,
+                                          strategy=args.strategy)
+        print(analysis.render(), file=out)
+        if args.dot:
+            with open(args.dot, "w", encoding="utf-8") as handle:
+                handle.write(analysis.to_dot() + "\n")
+            print(file=out)
+            print(f"wrote annotated plan graph to {args.dot}", file=out)
+        return 0
     compiled = engine.compile(args.expression)
     print(compiled.explain(metrics=args.metrics), file=out)
     print(file=out)
@@ -268,9 +309,25 @@ def _command_visualize(args, out) -> int:
 
 def _command_serve_bench(args, out) -> int:
     from .serve import QueryService, default_catalog, run_load
+    from .trace import (FlightRecorder, Tracer, write_chrome_trace,
+                        write_prometheus)
+    from .trace.recorder import DEFAULT_RECENT
+    tracing_on = bool(args.trace or args.trace_sample is not None
+                      or args.trace_out or args.flight_out)
+    tracer = None
+    flight = None
+    if tracing_on:
+        tracer = Tracer(sampler=args.trace_sample)
+        recent = DEFAULT_RECENT
+        if args.trace_out:
+            # --trace-out wants every request trace, so size the ring
+            # to the whole (bounded) bench workload.
+            recent = max(recent, args.concurrency * args.requests)
+        flight = FlightRecorder(recent=recent)
     service = QueryService(default_catalog(seed=args.seed),
                            workers=args.workers,
-                           queue_limit=args.queue_limit)
+                           queue_limit=args.queue_limit,
+                           tracer=tracer, flight_recorder=flight)
     try:
         report = run_load(service, concurrency=args.concurrency,
                           requests_per_client=args.requests,
@@ -278,6 +335,25 @@ def _command_serve_bench(args, out) -> int:
     finally:
         service.close()
     print(report.report(), file=out)
+    snapshot = service.flight_recorder()
+    if snapshot is not None:
+        print(f"tracing    : {snapshot.recorded} request traces "
+              f"({len(snapshot.recent)} retained, "
+              f"{len(snapshot.slowest)} slowest)", file=out)
+    if args.trace_out:
+        traces = [entry.trace for entry in snapshot.recent]
+        write_chrome_trace(args.trace_out, traces)
+        print(f"wrote Chrome trace of {len(traces)} requests to "
+              f"{args.trace_out}", file=out)
+    if args.flight_out:
+        traces = [entry.trace for entry in snapshot.slowest]
+        write_chrome_trace(args.flight_out, traces)
+        print(f"wrote flight recorder ({len(traces)} slowest requests) "
+              f"to {args.flight_out}", file=out)
+    if args.prom_out:
+        write_prometheus(args.prom_out, metrics=service.metrics,
+                         tracer=tracer)
+        print(f"wrote Prometheus metrics to {args.prom_out}", file=out)
     if args.check and (report.mismatches or report.errors or report.shed):
         print(f"check FAILED: mismatches={report.mismatches} "
               f"errors={report.errors} shed={report.shed}", file=out)

@@ -33,6 +33,7 @@ from .obs import ExecMetrics, PipelineMetrics, PlanCache, TracedRun
 from .pattern import TreePattern
 from .physical import Strategy, make_algorithm
 from .rewrite import RewriteOptions, RewriteTrace, rewrite_to_tpnf
+from .trace import ExplainAnalysis, Trace, Tracer, maybe_span
 from .typing import infer_type
 from .xmltree import IndexedDocument, Node, parse_xml
 from .xqcore import CExpr, NormalizedQuery, Var, alpha_canonical, normalize_query, pretty
@@ -171,7 +172,8 @@ class Engine:
     # -- compilation ------------------------------------------------------------
 
     def compile(self, query: str, optimize: bool = True,
-                trace: bool = False, use_cache: bool = True) -> CompiledQuery:
+                trace: bool = False, use_cache: bool = True,
+                tracing: Optional[Trace] = None) -> CompiledQuery:
         """Run the full compilation pipeline on a query string.
 
         Results are cached in :attr:`plan_cache` keyed by
@@ -184,6 +186,11 @@ class Engine:
         :class:`~repro.rewrite.RewriteTrace` recording the core
         expression after each rewriting pass that changed it (traced
         compiles bypass the cache).
+
+        ``tracing`` optionally attaches the compile to a span
+        :class:`~repro.trace.Trace`: one span per pipeline stage nested
+        under a ``compile_pipeline`` span (a cache hit records only a
+        ``plan_cache_hit`` event).
         """
         if not isinstance(query, str):
             raise InputError(
@@ -195,33 +202,39 @@ class Engine:
         if cacheable:
             cached = self.plan_cache.get(key)
             if cached is not None:
+                if tracing is not None:
+                    tracing.event("plan_cache_hit")
                 return cached
         metrics = PipelineMetrics()
-        with metrics.stage("parse"):
-            surface = resolve_abbreviations(parse_query(query))
-        with metrics.stage("normalize"):
-            normalized = normalize_query(surface)
-        rewrite_trace = RewriteTrace() if trace else None
-        with metrics.stage("rewrite"):
-            if optimize:
-                tpnf = rewrite_to_tpnf(normalized.core,
-                                       options=self.rewrite_options,
-                                       trace=rewrite_trace)
-            else:
-                tpnf = normalized.core
-        with metrics.stage("compile"):
-            plan = compile_core(tpnf)
-        with metrics.stage("optimize"):
-            if optimize:
-                optimized = optimize_plan(plan,
-                                          options=self.optimizer_options)
-            else:
-                optimized = plan
-        if self.use_summary:
-            # Built once per document and cached; later compiles record
-            # a (near-zero) cache-hit time for the stage.
-            with metrics.stage("summary"):
-                self.document.summary
+        with maybe_span(tracing, "compile_pipeline"):
+            with metrics.stage("parse"), maybe_span(tracing, "parse"):
+                surface = resolve_abbreviations(parse_query(query))
+            with metrics.stage("normalize"), \
+                    maybe_span(tracing, "normalize"):
+                normalized = normalize_query(surface)
+            rewrite_trace = RewriteTrace() if trace else None
+            with metrics.stage("rewrite"), maybe_span(tracing, "rewrite"):
+                if optimize:
+                    tpnf = rewrite_to_tpnf(normalized.core,
+                                           options=self.rewrite_options,
+                                           trace=rewrite_trace)
+                else:
+                    tpnf = normalized.core
+            with metrics.stage("compile"), maybe_span(tracing, "compile"):
+                plan = compile_core(tpnf)
+            with metrics.stage("optimize"), \
+                    maybe_span(tracing, "optimize"):
+                if optimize:
+                    optimized = optimize_plan(
+                        plan, options=self.optimizer_options)
+                else:
+                    optimized = plan
+            if self.use_summary:
+                # Built once per document and cached; later compiles
+                # record a (near-zero) cache-hit time for the stage.
+                with metrics.stage("summary"), \
+                        maybe_span(tracing, "summary"):
+                    self.document.summary
         compiled = CompiledQuery(text=query, surface=surface,
                                  normalized=normalized, tpnf=tpnf, plan=plan,
                                  optimized=optimized,
@@ -247,7 +260,8 @@ class Engine:
                 metrics: Optional[ExecMetrics] = None,
                 budgets: Optional[Budgets] = None,
                 strict: Optional[bool] = None,
-                fallback_chain: Optional[Sequence[str]] = None) -> List:
+                fallback_chain: Optional[Sequence[str]] = None,
+                tracing: Optional[Trace] = None) -> List:
         """Evaluate a compiled query and return the result sequence.
 
         Every free query variable (``$input``, ``$d``, …) that is not
@@ -256,6 +270,11 @@ class Engine:
 
         When ``metrics`` is given, operator/algorithm counters for this
         run are accumulated into it (see :class:`repro.obs.ExecMetrics`).
+
+        When ``tracing`` is given, the run records spans into it: an
+        ``execute`` span, one ``attempt`` span per strategy tried, and
+        per-operator spans from the evaluator (see :mod:`repro.trace`);
+        fallbacks and budget trips become span events.
 
         Guardrails (all defaulting to the engine's configuration): work
         is charged against ``budgets`` and trips raise
@@ -282,38 +301,59 @@ class Engine:
         deadline = None
         if budgets is not None and budgets.wall_seconds is not None:
             deadline = time.perf_counter() + budgets.wall_seconds
+        exec_span = tracing.begin_span("execute", strategy=requested) \
+            if tracing is not None else None
         last = len(attempts) - 1
         for index, name in enumerate(attempts):
             governor = None
             if budgets is not None:
                 # Fresh step/depth counters per attempt; one shared wall
                 # deadline so fallback cannot multiply the timeout.
-                governor = ResourceGovernor(budgets, deadline=deadline)
+                governor = ResourceGovernor(budgets, deadline=deadline,
+                                            trace=tracing)
                 governor.check_clock()
+            attempt_span = tracing.begin_span("attempt", strategy=name) \
+                if tracing is not None else None
             try:
-                return self._execute_once(compiled, name, variables,
-                                          optimized, metrics, governor)
-            except AlgorithmError as err:
-                if strict:
-                    cause = err.__cause__
-                    if isinstance(cause, Exception):
-                        raise cause
-                    raise
-                if index == last:
-                    raise
+                results = self._execute_once(compiled, name, variables,
+                                             optimized, metrics, governor,
+                                             tracing)
+            except (AlgorithmError, BudgetExceeded) as err:
+                # Close the failed attempt's span before (possibly)
+                # opening the next one, so retries nest as siblings.
+                code = getattr(err, "code", type(err).__name__)
+                if attempt_span is not None:
+                    tracing.end_span(attempt_span, error=code)
+                if isinstance(err, AlgorithmError):
+                    if strict:
+                        cause = err.__cause__
+                        if isinstance(cause, Exception):
+                            raise cause
+                        raise
+                    if index == last:
+                        raise
+                else:
+                    if strict or err.kind == "wall" or index == last:
+                        raise
                 self._record_fallback(metrics, name, attempts[index + 1],
                                       err)
-            except BudgetExceeded as err:
-                if strict or err.kind == "wall" or index == last:
-                    raise
-                self._record_fallback(metrics, name, attempts[index + 1],
-                                      err)
+                if tracing is not None:
+                    tracing.event("fallback", from_strategy=name,
+                                  to_strategy=attempts[index + 1],
+                                  error_code=code)
+            else:
+                if attempt_span is not None:
+                    tracing.end_span(attempt_span, rows=len(results))
+                    tracing.end_span(exec_span, strategy=name,
+                                     rows=len(results))
+                return results
         raise AssertionError("unreachable: attempts is never empty")
 
     def _execute_once(self, compiled: CompiledQuery, strategy_name: str,
                       variables: Optional[Dict[str, Sequence]],
                       optimized: bool, metrics: Optional[ExecMetrics],
-                      governor: Optional[ResourceGovernor]) -> List:
+                      governor: Optional[ResourceGovernor],
+                      tracing: Optional[Trace] = None) -> List:
         # With the summary disabled the choosers must not build one as a
         # construction default either, so they get no document then.
         chooser_document = self.document if self.use_summary else None
@@ -334,6 +374,8 @@ class Engine:
             algorithm.attach_metrics(metrics)
         if governor is not None:
             algorithm.attach_governor(governor)
+        if tracing is not None:
+            algorithm.attach_trace(tracing)
         bindings: Dict[Var, List] = {}
         root = [self.document.root]
         for name, var in compiled.normalized.global_vars.items():
@@ -344,7 +386,7 @@ class Engine:
         bindings[compiled.normalized.context_var] = list(root)
         context = EvalContext(document=self.document, strategy=algorithm,
                               globals=bindings, metrics=metrics,
-                              governor=governor)
+                              governor=governor, trace=tracing)
         return eval_item(plan, context)
 
     @staticmethod
@@ -369,23 +411,33 @@ class Engine:
     def run_traced(self, query: str,
                    strategy: Optional[Strategy | str] = None,
                    variables: Optional[Dict[str, Sequence]] = None,
-                   optimize: bool = True) -> TracedRun:
+                   optimize: bool = True,
+                   tracer: Optional[Tracer] = None) -> TracedRun:
         """Compile and evaluate with full observability.
 
         Returns a :class:`repro.obs.TracedRun` carrying the result
         sequence plus per-stage compile timings, execution counters
         (operator evaluations, per-algorithm nodes visited / streams
-        scanned, chooser decisions) and plan-cache statistics.
+        scanned, chooser decisions) and plan-cache statistics.  When a
+        :class:`~repro.trace.Tracer` is supplied (and admits the run),
+        the result additionally carries a finished span
+        :class:`~repro.trace.Trace` on its ``trace`` field.
         """
         stats = self.plan_cache.stats
         hits_before = stats.hits
-        compiled = self.compile(query, optimize=optimize)
+        trace = tracer.begin("query", query=query) \
+            if tracer is not None else None
+        compiled = self.compile(query, optimize=optimize, tracing=trace)
         cache_hit = stats.hits > hits_before
         metrics = ExecMetrics()
         start = time.perf_counter()
-        results = self.execute(compiled, strategy=strategy,
-                               variables=variables, optimized=optimize,
-                               metrics=metrics)
+        try:
+            results = self.execute(compiled, strategy=strategy,
+                                   variables=variables, optimized=optimize,
+                                   metrics=metrics, tracing=trace)
+        finally:
+            if trace is not None:
+                trace.finish()
         wall = time.perf_counter() - start
         chosen = self._strategy_name(
             strategy if strategy is not None else self.default_strategy)
@@ -398,8 +450,56 @@ class Engine:
                          wall_seconds=wall, metrics=metrics,
                          pipeline=compiled.pipeline_metrics,
                          cache=stats.snapshot(), cache_hit=cache_hit,
-                         effective_strategy=effective,
+                         effective_strategy=effective, trace=trace,
                          compiled=compiled)
+
+    # -- explain ---------------------------------------------------------------
+
+    def explain(self, query: str, analyze: bool = False,
+                strategy: Optional[Strategy | str] = None,
+                metrics: bool = False) -> str:
+        """The compilation stages of a query — or, with
+        ``analyze=True``, the EXPLAIN ANALYZE report: the optimized plan
+        annotated with measured per-operator wall time and
+        cardinalities from one traced execution."""
+        if not analyze:
+            return self.compile(query).explain(metrics=metrics)
+        return self.explain_analyze(query, strategy=strategy).render()
+
+    def explain_analyze(self, query: str,
+                        strategy: Optional[Strategy | str] = None,
+                        variables: Optional[Dict[str, Sequence]] = None,
+                        tracer: Optional[Tracer] = None
+                        ) -> ExplainAnalysis:
+        """Compile and execute once under a full trace and return the
+        :class:`~repro.trace.ExplainAnalysis` (render with
+        ``.render()``, or ``.to_dot()`` for an annotated plan graph).
+
+        Compilation bypasses the plan cache so stage spans are always
+        measured.  The supplied ``tracer`` must admit the run (default:
+        a fresh unsampled one).
+        """
+        tracer = tracer if tracer is not None else Tracer()
+        trace = tracer.begin("explain", query=query)
+        if trace is None:
+            raise InputError(
+                "explain_analyze needs a tracer that admits this run "
+                "(enabled, not sampled out)")
+        exec_metrics = ExecMetrics()
+        compiled = self.compile(query, use_cache=False, tracing=trace)
+        requested = self._strategy_name(
+            strategy if strategy is not None else self.default_strategy)
+        try:
+            results = self.execute(compiled, strategy=requested,
+                                   variables=variables,
+                                   metrics=exec_metrics, tracing=trace)
+        finally:
+            trace.finish()
+        effective = exec_metrics.fallbacks[-1].to_strategy \
+            if exec_metrics.fallbacks else requested
+        return ExplainAnalysis(query=query, compiled=compiled, trace=trace,
+                               strategy=effective, results=results,
+                               metrics=exec_metrics)
 
     def _strategy_name(self, strategy: Strategy | str) -> str:
         """Validate a strategy designator, returning its canonical name

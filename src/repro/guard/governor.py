@@ -95,7 +95,8 @@ class ResourceGovernor:
 
     def __init__(self, budgets: Budgets, *,
                  deadline: Optional[float] = None,
-                 clock=time.perf_counter) -> None:
+                 clock=time.perf_counter,
+                 trace: Optional[Any] = None) -> None:
         self.budgets = budgets
         self._clock = clock
         self.started = clock()
@@ -108,6 +109,10 @@ class ResourceGovernor:
         self.steps = 0
         self.depth = 0
         self._until_clock = CLOCK_CHECK_INTERVAL
+        #: optional :class:`repro.trace.Trace`: clock-interval ticks and
+        #: budget trips become span events (bounded by the interval, so
+        #: tracing a governed run stays cheap).
+        self.trace = trace
 
     @property
     def elapsed(self) -> float:
@@ -127,6 +132,8 @@ class ResourceGovernor:
             self._until_clock -= count
             if self._until_clock <= 0:
                 self._until_clock = CLOCK_CHECK_INTERVAL
+                if self.trace is not None:
+                    self.trace.event("governor_tick", steps=self.steps)
                 self.check_clock()
 
     def check_clock(self) -> None:
@@ -154,5 +161,8 @@ class ResourceGovernor:
 
     def _exceeded(self, kind: str, limit: float,
                   observed: float) -> BudgetExceeded:
+        if self.trace is not None:
+            self.trace.event("budget_exceeded", kind=kind, limit=limit,
+                             observed=observed, steps=self.steps)
         return BudgetExceeded(kind, limit, observed,
                               elapsed_seconds=self.elapsed, steps=self.steps)

@@ -33,7 +33,7 @@ import threading
 import time
 from collections import Counter, OrderedDict, deque
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import (Any, Deque, Dict, Hashable, Iterator, List, Optional,
                     Tuple)
 
@@ -178,37 +178,51 @@ class ExecMetrics:
         return flat
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "operator_evals": dict(self.operator_evals),
-            "items_produced": self.items_produced,
-            "tuples_produced": self.tuples_produced,
-            "pattern_evals": self.pattern_evals,
-            "prune_hits": self.prune_hits,
-            "prune_misses": self.prune_misses,
-            "nodes_visited": dict(self.nodes_visited),
-            "stream_scanned": dict(self.stream_scanned),
-            "stack_pushes": dict(self.stack_pushes),
-            "decision_counts": dict(self.decision_counts),
-            "decisions": [record.to_dict()
-                          for record in self.decision_ring],
-            "fallbacks": [event.to_dict() for event in self.fallbacks],
-        }
+        """Serialize every field.
+
+        Field-exhaustive by construction — driven by
+        ``dataclasses.fields`` like :meth:`merge`, so a counter added to
+        the dataclass can never be silently absent from the dict.  The
+        ``decision_ring`` field keeps its historical key ``"decisions"``.
+        """
+        payload: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, Counter):
+                payload[spec.name] = dict(value)
+            elif spec.name == "decision_ring":
+                payload["decisions"] = [record.to_dict()
+                                        for record in value]
+            elif isinstance(value, list):
+                payload[spec.name] = [entry.to_dict() for entry in value]
+            else:
+                payload[spec.name] = value
+        return payload
 
     def merge(self, other: "ExecMetrics") -> "ExecMetrics":
         """Fold another metrics object into this one (for aggregating
-        repeated runs); returns ``self``."""
-        self.operator_evals.update(other.operator_evals)
-        self.items_produced += other.items_produced
-        self.tuples_produced += other.tuples_produced
-        self.pattern_evals += other.pattern_evals
-        self.prune_hits += other.prune_hits
-        self.prune_misses += other.prune_misses
-        self.nodes_visited.update(other.nodes_visited)
-        self.stream_scanned.update(other.stream_scanned)
-        self.stack_pushes.update(other.stack_pushes)
-        self.decision_counts.update(other.decision_counts)
-        self.decision_ring.extend(other.decision_ring)
-        self.fallbacks.extend(other.fallbacks)
+        repeated runs); returns ``self``.
+
+        Merging is derived from ``dataclasses.fields``, dispatching on
+        each field's runtime type (Counter → update, int → add,
+        ring/list → extend): a new counter field merges automatically,
+        and an unmergeable field type fails loudly instead of being
+        silently dropped.
+        """
+        for spec in fields(self):
+            ours = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(ours, Counter):
+                ours.update(theirs)
+            elif isinstance(ours, (deque, list)):
+                ours.extend(theirs)
+            elif isinstance(ours, int):
+                setattr(self, spec.name, ours + theirs)
+            else:
+                raise TypeError(
+                    f"ExecMetrics.merge cannot combine field "
+                    f"{spec.name!r} of type {type(ours).__name__}; "
+                    f"teach merge about it")
         return self
 
     def report(self) -> str:
@@ -342,6 +356,9 @@ class TracedRun:
     #: the strategy that actually produced the results — differs from
     #: :attr:`strategy` when graceful fallback re-ran the query.
     effective_strategy: str = ""
+    #: the span trace of this run, when ``run_traced`` was given a
+    #: tracer (see :mod:`repro.trace`); ``None`` otherwise.
+    trace: Any = None
     compiled: Any = None    # the CompiledQuery (kept last: verbose repr)
 
     def __post_init__(self) -> None:
@@ -364,6 +381,9 @@ class TracedRun:
                  f"plan cache : {'hit' if self.cache_hit else 'miss'}"
                  f"  (hits={self.cache.hits} misses={self.cache.misses}"
                  f" evictions={self.cache.evictions})"]
+        if self.trace is not None:
+            lines.append(f"trace      : {self.trace.trace_id} "
+                         f"({len(self.trace.spans)} spans)")
         if self.pipeline is not None:
             lines.append("compile stages:")
             lines.extend("  " + line

@@ -19,7 +19,7 @@ operator calls; it dispatches between the two semantics.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..guard.governor import ResourceGovernor
 from ..obs import ExecMetrics
@@ -27,6 +27,9 @@ from ..pattern import PatternPath, TreePattern
 from ..xmltree.document import IndexedDocument, ddo
 from ..xmltree.node import Node
 from ..xmltree.summary import PathSummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trace import Trace
 
 Binding = Dict[str, Node]
 
@@ -50,6 +53,11 @@ class TreePatternAlgorithm:
     #: :meth:`evaluate` consults it to skip pattern evaluations that
     #: provably cannot match (see :mod:`repro.xmltree.summary`).
     summary: Optional[PathSummary] = None
+
+    #: span trace this algorithm's pattern evaluations are recorded
+    #: into; ``None`` (the default) disables tracing — same one-check
+    #: discipline as ``metrics``/``governor``.
+    trace: "Optional[Trace]" = None
 
     def attach_metrics(self, metrics: Optional[ExecMetrics]) -> None:
         """Route this algorithm's counters into ``metrics``.
@@ -76,6 +84,16 @@ class TreePatternAlgorithm:
         """
         self.summary = summary
 
+    def attach_trace(self, trace: "Optional[Trace]") -> None:
+        """Record this algorithm's pattern evaluations as spans of
+        ``trace`` (one ``pattern:<name>`` span per :meth:`evaluate`
+        call, prune decisions as events).
+
+        Subclasses that delegate (fallbacks, choosers) override this to
+        attach the same object to their inner algorithms.
+        """
+        self.trace = trace
+
     def match_single(self, document: IndexedDocument,
                      contexts: List[Node], path: PatternPath) -> List[Node]:
         raise NotImplementedError
@@ -87,6 +105,21 @@ class TreePatternAlgorithm:
     def evaluate(self, document: IndexedDocument, contexts: List[Node],
                  pattern: TreePattern) -> List[Binding]:
         """Evaluate a pattern for one input tuple's context nodes."""
+        trace = self.trace
+        if trace is None:
+            return self._evaluate(document, contexts, pattern)
+        span = trace.begin_span(f"pattern:{self.name}",
+                                contexts=len(contexts))
+        try:
+            result = self._evaluate(document, contexts, pattern)
+        except BaseException:
+            trace.end_span(span, error=True)
+            raise
+        trace.end_span(span, rows=len(result))
+        return result
+
+    def _evaluate(self, document: IndexedDocument, contexts: List[Node],
+                  pattern: TreePattern) -> List[Binding]:
         if self.metrics is not None:
             self.metrics.pattern_evals += 1
         if self.governor is not None:
@@ -103,6 +136,9 @@ class TreePatternAlgorithm:
             if not summary.can_match(pattern.path, contexts):
                 if self.metrics is not None:
                     self.metrics.prune_hits += 1
+                if self.trace is not None:
+                    self.trace.event("prune_hit",
+                                     pattern=pattern.path.to_string())
                 return []
             if self.metrics is not None:
                 self.metrics.prune_misses += 1

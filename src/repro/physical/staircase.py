@@ -57,6 +57,10 @@ class StaircaseJoin(TreePatternAlgorithm):
         super().attach_governor(governor)
         self._fallback.attach_governor(governor)
 
+    def attach_trace(self, trace) -> None:
+        super().attach_trace(trace)
+        self._fallback.attach_trace(trace)
+
     # -- public API -----------------------------------------------------------
 
     def match_single(self, document: IndexedDocument,

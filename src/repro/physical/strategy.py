@@ -143,6 +143,12 @@ class HeuristicChooser(TreePatternAlgorithm):
         self.twigjoin.attach_summary(summary)
         self.scjoin.attach_summary(summary)
 
+    def attach_trace(self, trace) -> None:
+        super().attach_trace(trace)
+        self.nljoin.attach_trace(trace)
+        self.twigjoin.attach_trace(trace)
+        self.scjoin.attach_trace(trace)
+
     @property
     def decisions(self) -> list:
         """Recently chosen algorithm names (bounded; the exact tally is
@@ -162,6 +168,9 @@ class HeuristicChooser(TreePatternAlgorithm):
             chosen = self.scjoin
         self.metrics.record_decision(self.name, chosen.name,
                                      region=region, streams=streams)
+        if self.trace is not None:
+            self.trace.event("decision", chooser=self.name,
+                             algorithm=chosen.name)
         if self.governor is not None:
             self.governor.tick()
         chaos_point("auto.choose", chosen.name)
@@ -218,6 +227,11 @@ class CostBasedChooser(TreePatternAlgorithm):
         for algorithm in self.algorithms.values():
             algorithm.attach_summary(summary)
 
+    def attach_trace(self, trace) -> None:
+        super().attach_trace(trace)
+        for algorithm in self.algorithms.values():
+            algorithm.attach_trace(trace)
+
     @property
     def decisions(self) -> list:
         """Recently chosen algorithm names (bounded; the exact tally is
@@ -249,6 +263,9 @@ class CostBasedChooser(TreePatternAlgorithm):
         self.metrics.record_decision(
             self.name, name,
             **{f"cost_{algo}": cost for algo, cost in estimate.costs.items()})
+        if self.trace is not None:
+            self.trace.event("decision", chooser=self.name,
+                             algorithm=name)
         if self.governor is not None:
             self.governor.tick()
         chaos_point("cost.choose", name)

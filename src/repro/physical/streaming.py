@@ -70,6 +70,10 @@ class StreamingXPath(TreePatternAlgorithm):
         super().attach_governor(governor)
         self._fallback.attach_governor(governor)
 
+    def attach_trace(self, trace) -> None:
+        super().attach_trace(trace)
+        self._fallback.attach_trace(trace)
+
     def match_single(self, document: IndexedDocument,
                      contexts: List[Node], path: PatternPath) -> List[Node]:
         if not _supported(path):

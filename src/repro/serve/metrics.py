@@ -228,6 +228,14 @@ class ServiceMetrics:
 
     # -- views --------------------------------------------------------------
 
+    def snapshot_histograms(self) -> Tuple[LatencyHistogram,
+                                           LatencyHistogram]:
+        """Consistent copies of ``(latency, queue_wait)`` — the raw
+        bucket counts the Prometheus exporter needs (``stats()`` only
+        exposes interpolated quantiles)."""
+        with self._lock:
+            return self.latency.snapshot(), self.queue_wait.snapshot()
+
     def stats(self, queue_depth: int = 0,
               in_flight: int = 0) -> ServiceStats:
         """An immutable snapshot (the service passes the live queue

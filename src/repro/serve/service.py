@@ -36,6 +36,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..guard import (Budgets, BudgetExceeded, ServiceClosed,
                      ServiceOverloaded)
+from ..trace import FlightRecorder, FlightSnapshot, Tracer
 from .catalog import DocumentCatalog
 from .metrics import ServiceMetrics, ServiceStats
 
@@ -83,6 +84,9 @@ class QueryResponse:
     queue_seconds: float = 0.0
     #: seconds the worker spent compiling + executing.
     exec_seconds: float = 0.0
+    #: id of this request's span trace, when the service traces (and
+    #: its sampler admitted this request); ``None`` otherwise.
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -110,6 +114,8 @@ class _Execution:
         self.deadline = deadline
         self.response: Optional[QueryResponse] = None
         self.done = threading.Event()
+        #: followers coalesced onto this execution (admission lock).
+        self.coalesced = 0
 
 
 class PendingQuery:
@@ -158,13 +164,22 @@ class QueryService:
     tighten, never loosen, the wall budget).  ``queue_limit`` bounds the
     *waiting* requests only; in-flight executions are bounded by
     ``workers``.
+
+    With a ``tracer`` attached, every admitted request the sampler
+    accepts gets a root ``request`` span covering queue wait and
+    execution (``QueryResponse.trace_id`` identifies it), and finished
+    traces are retained in a :class:`~repro.trace.FlightRecorder`
+    (supply your own to size it; snapshot via
+    :meth:`flight_recorder`).
     """
 
     def __init__(self, catalog: DocumentCatalog,
                  workers: int = DEFAULT_WORKERS,
                  queue_limit: int = DEFAULT_QUEUE_LIMIT,
                  default_budgets: Optional[Budgets] = None,
-                 clock=time.perf_counter) -> None:
+                 clock=time.perf_counter,
+                 tracer: Optional[Tracer] = None,
+                 flight_recorder: Optional[FlightRecorder] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_limit < 1:
@@ -173,6 +188,10 @@ class QueryService:
         self.queue_limit = queue_limit
         self.default_budgets = default_budgets
         self.metrics = ServiceMetrics(clock=clock)
+        self.tracer = tracer
+        if flight_recorder is None and tracer is not None:
+            flight_recorder = FlightRecorder()
+        self._flight = flight_recorder
         self._clock = clock
         self._queue: "queue_module.Queue[Any]" = \
             queue_module.Queue(maxsize=queue_limit)
@@ -204,6 +223,7 @@ class QueryService:
             existing = self._inflight.get(key)
             if existing is not None:
                 self.metrics.record_coalesced()
+                existing.coalesced += 1
                 return PendingQuery(existing, coalesced=True)
             admitted = self._clock()
             deadline = None
@@ -254,6 +274,21 @@ class QueryService:
             self._in_flight_count += 1
         response = QueryResponse(request=execution.request,
                                  queue_seconds=queue_seconds)
+        trace = None
+        if self.tracer is not None:
+            # The root span covers the whole request: it starts
+            # queue_seconds in the past *on the tracer's own clock* (the
+            # service clock may differ, e.g. a fake one under test), and
+            # the already-elapsed wait is recorded as a completed child.
+            trace = self.tracer.begin(
+                "request", start_offset=-queue_seconds,
+                document=execution.request.document,
+                query=execution.request.query,
+                strategy=execution.request.strategy or "default")
+            if trace is not None:
+                trace.add_span("queue", start=trace.root.start,
+                               duration=queue_seconds)
+                response.trace_id = trace.trace_id
         deadline_expired = False
         try:
             request = execution.request
@@ -270,10 +305,12 @@ class QueryService:
             engine = self.catalog.engine(request.document)
             budgets = self._budgets_for(remaining)
             compiled = engine.compile(request.query,
-                                      optimize=request.optimize)
+                                      optimize=request.optimize,
+                                      tracing=trace)
             response.results = engine.execute(
                 compiled, strategy=request.strategy,
-                optimized=request.optimize, budgets=budgets)
+                optimized=request.optimize, budgets=budgets,
+                tracing=trace)
         except Exception as err:  # typed errors travel to the waiters
             response.error = err
             if isinstance(err, BudgetExceeded) and err.kind == "wall":
@@ -285,6 +322,18 @@ class QueryService:
                 if self._inflight.get(key) is execution:
                     del self._inflight[key]
                 self._in_flight_count -= 1
+                coalesced = execution.coalesced
+            if trace is not None:
+                if response.error is not None:
+                    trace.annotate(error=getattr(
+                        response.error, "code",
+                        type(response.error).__name__))
+                trace.finish(coalesced=coalesced,
+                             rows=len(response.results)
+                             if response.results is not None else 0)
+                if self._flight is not None:
+                    self._flight.record(trace,
+                                        latency=response.total_seconds)
             execution.response = response
             execution.done.set()
             self.metrics.record_done(
@@ -314,6 +363,13 @@ class QueryService:
             in_flight = self._in_flight_count
         return self.metrics.stats(queue_depth=self._queue.qsize(),
                                   in_flight=in_flight)
+
+    def flight_recorder(self) -> Optional[FlightSnapshot]:
+        """A snapshot of the retained request traces (the K slowest and
+        most recent); ``None`` when the service runs untraced."""
+        if self._flight is None:
+            return None
+        return self._flight.snapshot()
 
     @property
     def closed(self) -> bool:

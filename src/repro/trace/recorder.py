@@ -1,0 +1,128 @@
+"""The serve-side flight recorder: the traces you wish you had kept.
+
+Production incident triage needs the *interesting* requests, not all of
+them: :class:`FlightRecorder` keeps two bounded views of finished
+request traces — a ring of the K most **recent** and a heap of the K
+**slowest** — in constant memory however long the service runs.
+:meth:`FlightRecorder.snapshot` returns an immutable
+:class:`FlightSnapshot` (and ``QueryService.flight_recorder()`` exposes
+it), which the exporters in :mod:`repro.trace.export` turn into Chrome
+trace files (``python -m repro serve-bench --flight-out``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .tracer import Trace
+
+__all__ = ["FlightEntry", "FlightRecorder", "FlightSnapshot"]
+
+#: default ring capacity for the most recent traces.
+DEFAULT_RECENT = 32
+
+#: default capacity for the slowest traces.
+DEFAULT_SLOWEST = 8
+
+
+@dataclass(frozen=True)
+class FlightEntry:
+    """One recorded request trace with its ranking latency."""
+
+    trace: Trace
+    latency: float
+    sequence: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"latency": self.latency, "sequence": self.sequence,
+                "trace": self.trace.to_dict()}
+
+
+@dataclass(frozen=True)
+class FlightSnapshot:
+    """An immutable view of the recorder at one instant."""
+
+    #: total traces ever recorded (beyond what is retained).
+    recorded: int
+    #: the most recent entries, oldest first.
+    recent: Tuple[FlightEntry, ...]
+    #: the slowest entries, slowest first.
+    slowest: Tuple[FlightEntry, ...]
+
+    def traces(self) -> List[Trace]:
+        """Slowest + recent traces, deduplicated by trace_id (slowest
+        first) — the natural input for the Chrome exporter."""
+        seen: set = set()
+        unique: List[Trace] = []
+        for entry in (*self.slowest, *self.recent):
+            if entry.trace.trace_id in seen:
+                continue
+            seen.add(entry.trace.trace_id)
+            unique.append(entry.trace)
+        return unique
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "recorded": self.recorded,
+            "recent": [entry.to_dict() for entry in self.recent],
+            "slowest": [entry.to_dict() for entry in self.slowest],
+        }
+
+
+class FlightRecorder:
+    """Bounded retention of request traces (thread-safe).
+
+    ``recent`` bounds the ring of latest traces; ``slowest`` bounds the
+    kept-slowest set, maintained as a min-heap so each record is
+    O(log K).  Ties in latency resolve to the earlier request.
+    """
+
+    def __init__(self, recent: int = DEFAULT_RECENT,
+                 slowest: int = DEFAULT_SLOWEST) -> None:
+        if recent < 1:
+            raise ValueError("recent must be >= 1")
+        if slowest < 0:
+            raise ValueError("slowest must be >= 0")
+        self.recent_capacity = recent
+        self.slowest_capacity = slowest
+        self._recent: Deque[FlightEntry] = deque(maxlen=recent)
+        self._slowest: List[Tuple[float, int, FlightEntry]] = []
+        self._recorded = 0
+        self._lock = threading.Lock()
+
+    def record(self, trace: Trace,
+               latency: Optional[float] = None) -> None:
+        """Retain a finished trace, ranked by ``latency`` (the request's
+        end-to-end seconds; defaults to the trace's own duration)."""
+        if latency is None:
+            latency = trace.duration
+        with self._lock:
+            self._recorded += 1
+            entry = FlightEntry(trace=trace, latency=latency,
+                                sequence=self._recorded)
+            self._recent.append(entry)
+            if self.slowest_capacity:
+                # Min-heap of the K slowest: negate the sequence so that
+                # among equal latencies the *older* request survives.
+                item = (latency, -entry.sequence, entry)
+                if len(self._slowest) < self.slowest_capacity:
+                    heapq.heappush(self._slowest, item)
+                elif item > self._slowest[0]:
+                    heapq.heapreplace(self._slowest, item)
+
+    def snapshot(self) -> FlightSnapshot:
+        with self._lock:
+            slowest = tuple(entry for _, _, entry in
+                            sorted(self._slowest,
+                                   key=lambda item: (-item[0], -item[1])))
+            return FlightSnapshot(recorded=self._recorded,
+                                  recent=tuple(self._recent),
+                                  slowest=slowest)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recent)

@@ -226,3 +226,81 @@ class TestHarness:
                        for strategy in ("nljoin", "scjoin")]}
         table = render_measurements("work", rows)
         assert "v=" in table and "s=" in table and "nljoin" in table
+
+
+# -- field-exhaustive merge / to_dict ------------------------------------------
+
+class TestExecMetricsRoundTrip:
+    """merge and to_dict are driven by ``dataclasses.fields`` — a new
+    counter field is merged and serialized automatically, and these
+    tests fail if either ever drops a field."""
+
+    @staticmethod
+    def populated() -> ExecMetrics:
+        from repro.guard import FallbackEvent
+        metrics = ExecMetrics()
+        metrics.operator_evals.update({"Select": 4, "MapToItem": 2})
+        metrics.items_produced = 7
+        metrics.tuples_produced = 5
+        metrics.pattern_evals = 3
+        metrics.prune_hits = 2
+        metrics.prune_misses = 1
+        metrics.nodes_visited.update({"nljoin": 11})
+        metrics.stream_scanned.update({"twigjoin": 13})
+        metrics.stack_pushes.update({"scjoin": 17})
+        metrics.record_decision("auto", "twigjoin", region=3.0)
+        metrics.record_fallback(FallbackEvent(
+            "scjoin", "twigjoin", "REPRO-ALGO", "boom"))
+        return metrics
+
+    def test_every_field_is_populated(self):
+        """Guard the fixture itself: a field added with a default value
+        must be given a non-default value above (or this suite would
+        vacuously pass for it)."""
+        from dataclasses import fields
+        metrics = self.populated()
+        blank = ExecMetrics()
+        for spec in fields(metrics):
+            assert (getattr(metrics, spec.name)
+                    != getattr(blank, spec.name)), (
+                f"populated() leaves {spec.name!r} at its default — "
+                f"extend it alongside the new field")
+
+    def test_merge_then_to_dict_round_trips(self):
+        from dataclasses import fields
+        source = self.populated()
+        target = ExecMetrics()
+        target.merge(source)
+        assert target.to_dict() == source.to_dict()
+        for spec in fields(source):
+            assert (getattr(target, spec.name)
+                    == getattr(source, spec.name)), (
+                f"merge dropped field {spec.name!r}")
+
+    def test_merge_accumulates(self):
+        target = self.populated()
+        target.merge(self.populated())
+        single = self.populated()
+        assert target.items_produced == 2 * single.items_produced
+        assert target.operator_evals["Select"] == \
+            2 * single.operator_evals["Select"]
+        assert len(target.fallbacks) == 2
+        assert target.decisions_total == 2 * single.decisions_total
+
+    def test_to_dict_keeps_decisions_key(self):
+        payload = self.populated().to_dict()
+        assert "decisions" in payload
+        assert "decision_ring" not in payload
+        assert payload["decisions"][0]["algorithm"] == "twigjoin"
+
+    def test_merge_rejects_unmergeable_field_types(self):
+        """The fields-driven merge must fail loudly, not silently skip,
+        when a field of an unknown type appears."""
+        from dataclasses import dataclass, field as dfield
+
+        @dataclass
+        class Widened(ExecMetrics):
+            strange: dict = dfield(default_factory=dict)
+
+        with pytest.raises(TypeError):
+            Widened().merge(Widened())

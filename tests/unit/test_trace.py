@@ -1,0 +1,354 @@
+"""The tracing substrate: spans, sampling, flight recorder, exporters."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.metrics import ServiceMetrics
+from repro.trace import (FlightRecorder, RatioSampler, Trace, Tracer,
+                         chrome_trace, format_seconds, maybe_span,
+                         prometheus_text, spans_jsonl,
+                         validate_chrome_trace, validate_prometheus)
+
+
+class FakeClock:
+    """A deterministic, manually advanced clock."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+def fake_tracer(**kwargs) -> Tracer:
+    return Tracer(clock=FakeClock(), **kwargs)
+
+
+# -- span mechanics -----------------------------------------------------------
+
+class TestTrace:
+    def test_spans_nest_under_current(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        trace = tracer.begin("query")
+        outer = trace.begin_span("outer")
+        clock.advance(1.0)
+        inner = trace.begin_span("inner")
+        clock.advance(2.0)
+        trace.end_span(inner)
+        clock.advance(0.5)
+        trace.end_span(outer)
+        trace.finish()
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == trace.root.span_id
+        assert inner.duration == pytest.approx(2.0)
+        assert outer.duration == pytest.approx(3.5)
+        assert trace.duration == pytest.approx(3.5)
+
+    def test_end_span_closes_forgotten_children(self):
+        clock = FakeClock()
+        trace = Tracer(clock=clock).begin("query")
+        outer = trace.begin_span("outer")
+        forgotten = trace.begin_span("forgotten")
+        clock.advance(1.0)
+        trace.end_span(outer)
+        assert forgotten.duration == pytest.approx(1.0)
+        assert trace.current is trace.root
+
+    def test_finish_is_idempotent_and_absorbs_once(self):
+        tracer = fake_tracer()
+        trace = tracer.begin("query")
+        with trace.span("stage"):
+            pass
+        trace.finish()
+        trace.finish()
+        assert tracer.aggregates.traces_finished == 1
+        assert tracer.aggregates.span_totals["stage"][0] == 1
+
+    def test_add_span_records_elapsed_region(self):
+        clock = FakeClock()
+        trace = Tracer(clock=clock).begin("request")
+        span = trace.add_span("queue", start=trace.root.start,
+                              duration=0.25)
+        assert span.parent_id == trace.root.span_id
+        assert span.duration == pytest.approx(0.25)
+
+    def test_events_attach_to_current_span(self):
+        clock = FakeClock()
+        trace = Tracer(clock=clock).begin("query")
+        with trace.span("execute") as span:
+            clock.advance(0.5)
+            trace.event("prune_hit", pattern="//a")
+        offset, name, attrs = span.events[0]
+        assert name == "prune_hit"
+        assert attrs == {"pattern": "//a"}
+        assert offset == pytest.approx(0.5)
+
+    def test_span_cap_counts_drops_and_keeps_parents_resolvable(self):
+        trace = Tracer(clock=FakeClock(), max_spans=4).begin("query")
+        spans = [trace.begin_span(f"s{i}") for i in range(10)]
+        for span in reversed(spans):
+            trace.end_span(span)
+        trace.finish()
+        assert trace.dropped_spans == 7  # root + s0..s2 stored
+        stored = {span.span_id for span in trace.spans}
+        for span in trace.spans:
+            assert span.parent_id is None or span.parent_id in stored, (
+                "a stored span references a dropped parent")
+
+    def test_event_cap_counts_drops(self):
+        trace = Tracer(clock=FakeClock(), max_events=3).begin("query")
+        for index in range(5):
+            trace.event("tick", index=index)
+        assert len(trace.root.events) == 3
+        assert trace.dropped_events == 2
+
+    def test_record_op_aggregates_exactly(self):
+        trace = fake_tracer().begin("query")
+        trace.record_op(1, "Select", 0.5, 10)
+        trace.record_op(1, "Select", 0.25, 5)
+        trace.record_op(2, "MapToItem", 0.1, 3)
+        stat = trace.op_stats[1]
+        assert (stat.calls, stat.rows) == (2, 15)
+        assert stat.seconds == pytest.approx(0.75)
+        assert trace.op_stats[2].name == "MapToItem"
+
+    def test_maybe_span_without_trace_is_noop(self):
+        with maybe_span(None, "anything"):
+            pass
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["begin", "end", "event"]),
+              st.floats(min_value=0.001, max_value=10.0,
+                        allow_nan=False)),
+    max_size=40))
+def test_span_nesting_property(script):
+    """Under any begin/end/event interleaving with a fake clock:
+    parents strictly contain children, no stored span references an
+    unknown span_id, and the trace serializes deterministically."""
+
+    def run():
+        clock = FakeClock()
+        trace = Tracer(clock=clock).begin("query")
+        open_spans = []
+        for action, delta in script:
+            clock.advance(delta)
+            if action == "begin":
+                open_spans.append(trace.begin_span(f"s{len(open_spans)}"))
+            elif action == "end" and open_spans:
+                trace.end_span(open_spans.pop())
+            elif action == "event":
+                trace.event("tick")
+        clock.advance(0.5)
+        trace.finish()
+        return trace
+
+    trace = run()
+    by_id = {span.span_id: span for span in trace.spans}
+    assert trace.dropped_spans == 0
+    for span in trace.spans:
+        if span.parent_id is None:
+            assert span is trace.root
+            continue
+        parent = by_id[span.parent_id]          # no orphan span_ids
+        assert parent.start <= span.start
+        assert span.end <= parent.end + 1e-9    # containment
+    # Deterministic under the fake clock: a second identical run
+    # serializes identically.
+    assert trace.to_dict() == run().to_dict()
+
+
+# -- sampling and the disabled path -------------------------------------------
+
+class TestTracerAdmission:
+    def test_disabled_tracer_hands_out_none(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.begin("query") is None
+        assert tracer.aggregates.traces_started == 0
+
+    def test_ratio_sampler_is_exact_and_deterministic(self):
+        sampler = RatioSampler(0.25)
+        picks = [sampler.sample() for _ in range(100)]
+        assert sum(picks) == 25
+        resampled = RatioSampler(0.25)
+        assert [resampled.sample() for _ in range(100)] == picks
+
+    @pytest.mark.parametrize("ratio,expected", [(0.0, 0), (1.0, 50)])
+    def test_ratio_sampler_extremes(self, ratio, expected):
+        sampler = RatioSampler(ratio)
+        assert sum(sampler.sample() for _ in range(50)) == expected
+
+    def test_sampled_out_traces_are_counted(self):
+        tracer = fake_tracer(sampler=0.5)
+        traces = [tracer.begin("query") for _ in range(10)]
+        kept = [trace for trace in traces if trace is not None]
+        assert len(kept) == 5
+        assert tracer.aggregates.traces_sampled_out == 5
+
+    def test_sampler_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            RatioSampler(1.5)
+
+
+# -- flight recorder ----------------------------------------------------------
+
+def make_trace(tracer, latency):
+    trace = tracer.begin("request")
+    tracer.clock.advance(latency)
+    return trace.finish()
+
+
+class TestFlightRecorder:
+    def test_recent_ring_evicts_oldest(self):
+        tracer = fake_tracer()
+        recorder = FlightRecorder(recent=3, slowest=0)
+        for index in range(5):
+            recorder.record(make_trace(tracer, 0.01), latency=0.01)
+        snapshot = recorder.snapshot()
+        assert snapshot.recorded == 5
+        assert len(snapshot.recent) == 3
+        assert [entry.sequence for entry in snapshot.recent] == [3, 4, 5]
+
+    def test_slowest_keeps_k_largest(self):
+        tracer = fake_tracer()
+        recorder = FlightRecorder(recent=2, slowest=3)
+        latencies = [0.3, 0.1, 0.9, 0.2, 0.7, 0.5]
+        for latency in latencies:
+            recorder.record(make_trace(tracer, latency), latency=latency)
+        snapshot = recorder.snapshot()
+        assert [entry.latency for entry in snapshot.slowest] == [0.9, 0.7,
+                                                                 0.5]
+
+    def test_latency_ties_keep_the_older_request(self):
+        tracer = fake_tracer()
+        recorder = FlightRecorder(recent=1, slowest=2)
+        for latency in (0.5, 0.5, 0.5):
+            recorder.record(make_trace(tracer, latency), latency=latency)
+        snapshot = recorder.snapshot()
+        assert [entry.sequence for entry in snapshot.slowest] == [1, 2]
+
+    def test_snapshot_traces_deduplicates(self):
+        tracer = fake_tracer()
+        recorder = FlightRecorder(recent=8, slowest=4)
+        for latency in (0.1, 0.2, 0.3):
+            recorder.record(make_trace(tracer, latency), latency=latency)
+        traces = recorder.snapshot().traces()
+        assert len(traces) == 3
+        assert len({trace.trace_id for trace in traces}) == 3
+
+    def test_default_latency_is_trace_duration(self):
+        tracer = fake_tracer()
+        recorder = FlightRecorder()
+        recorder.record(make_trace(tracer, 0.125))
+        assert recorder.snapshot().recent[0].latency == pytest.approx(
+            0.125)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(recent=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(slowest=-1)
+
+
+# -- exporters ----------------------------------------------------------------
+
+def sample_trace():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    trace = tracer.begin("query", query="//a")
+    with trace.span("compile_pipeline"):
+        clock.advance(0.010)
+    with trace.span("execute", strategy="twigjoin"):
+        clock.advance(0.002)
+        trace.event("decision", algorithm="twigjoin")
+        clock.advance(0.020)
+    clock.advance(0.001)
+    return trace.finish()
+
+
+class TestChromeExport:
+    def test_schema_keys_and_validation(self):
+        data = chrome_trace(sample_trace())
+        assert set(data) == {"traceEvents", "displayTimeUnit"}
+        validate_chrome_trace(data)
+        complete = [event for event in data["traceEvents"]
+                    if event["ph"] == "X"]
+        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(
+            complete[0])
+        names = {event["name"] for event in complete}
+        assert {"query", "compile_pipeline", "execute"} <= names
+
+    def test_instant_events_exported(self):
+        data = chrome_trace(sample_trace())
+        instants = [event for event in data["traceEvents"]
+                    if event["ph"] == "i"]
+        assert any(event["name"] == "decision" for event in instants)
+
+    def test_round_trips_through_json(self):
+        data = chrome_trace([sample_trace(), sample_trace()])
+        validate_chrome_trace(json.loads(json.dumps(data)))
+
+    def test_validation_rejects_broken_nesting(self):
+        trace = sample_trace()
+        trace.spans[1].start = trace.root.end + 5.0   # escape the root
+        with pytest.raises(ValueError):
+            validate_chrome_trace(chrome_trace(trace))
+
+    def test_validation_rejects_missing_keys(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"displayTimeUnit": "ms"})
+
+
+class TestPrometheusExport:
+    def test_tracer_dump_validates(self):
+        tracer = Tracer(clock=FakeClock())
+        sample = tracer.begin("query")
+        with sample.span("execute"):
+            pass
+        sample.finish()
+        text = prometheus_text(tracer=tracer)
+        validate_prometheus(text)
+        assert "repro_traces_finished_total 1" in text
+        assert 'repro_span_seconds_total{span="execute"}' in text
+
+    def test_service_metrics_dump_has_histograms(self):
+        metrics = ServiceMetrics()
+        metrics.record_submitted()
+        metrics.record_accepted()
+        metrics.record_done(0.05, 0.01, failed=False)
+        text = prometheus_text(metrics=metrics)
+        validate_prometheus(text)
+        assert 'repro_request_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_request_latency_seconds_count 1" in text
+        assert "# TYPE repro_request_latency_seconds histogram" in text
+
+    def test_validation_rejects_untyped_and_malformed_lines(self):
+        with pytest.raises(ValueError):
+            validate_prometheus("repro_untyped_total 3\n")
+        with pytest.raises(ValueError):
+            validate_prometheus("# TYPE bad gauge\nbad not-a-number\n")
+
+
+class TestJsonlExport:
+    def test_each_line_is_a_span_object(self):
+        lines = list(spans_jsonl([sample_trace()]))
+        assert len(lines) == 3   # root + compile_pipeline + execute
+        for line in lines:
+            record = json.loads(line)
+            assert {"trace_id", "trace_name", "name", "span_id",
+                    "start", "duration"} <= set(record)
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize("seconds,expected", [
+        (0.0000042, "4.2us"), (0.0042, "4.200ms"), (4.2, "4.200s")])
+    def test_unit_selection(self, seconds, expected):
+        assert format_seconds(seconds) == expected
