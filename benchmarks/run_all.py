@@ -14,6 +14,7 @@ import sys
 import time
 
 import bench_ablation
+import bench_columnar
 import bench_extensions
 import bench_figure4
 import bench_figure6
@@ -45,6 +46,8 @@ def main() -> int:
          bench_serve.generate_table),
         ("Tracing overhead (docs/TRACING.md, E9)",
          bench_trace.generate_table),
+        ("Columnar store (docs/STORAGE.md, E10)",
+         bench_columnar.generate_table),
     ]
     for title, generate in sections:
         start = time.perf_counter()

@@ -19,7 +19,8 @@ from .obs import (CacheStats, ExecMetrics, PipelineMetrics, PlanCache,
                   TracedRun)
 from .pattern import TreePattern, parse_pattern
 from .physical import NLJoin, StaircaseJoin, Strategy, TwigJoin
-from .xmltree import IndexedDocument, PathSummary, parse_xml, serialize
+from .xmltree import (ColumnarDocument, IndexedDocument, PathSummary,
+                      StorageError, parse_xml, serialize)
 
 __version__ = "1.1.0"
 
@@ -29,6 +30,7 @@ __all__ = [
     "TracedRun",
     "TreePattern", "parse_pattern",
     "NLJoin", "StaircaseJoin", "Strategy", "TwigJoin",
-    "IndexedDocument", "PathSummary", "parse_xml", "serialize",
+    "ColumnarDocument", "IndexedDocument", "PathSummary", "StorageError",
+    "parse_xml", "serialize",
     "__version__",
 ]

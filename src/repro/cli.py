@@ -7,12 +7,16 @@
     python -m repro compare "$input//person/name" --doc site.xml
     python -m repro visualize "$input//person[emailaddress]" --what pattern
     python -m repro generate xmark --size 100 --output site.xml
+    python -m repro index site.xml -o site.rpxc --verify
+    python -m repro query "$input//person/name" --doc site.rpxc
     python -m repro serve-bench --workers 4 --concurrency 8
 
 ``query`` evaluates against a document (``--doc``, or a built-in sample
 when omitted) and prints the result sequence.  ``explain`` shows every
 compilation stage.  ``compare`` times every physical strategy on one
 query.  ``generate`` writes a MemBeR-style or XMark-style document.
+``index`` saves a document's columnar index, which ``--doc`` (with the
+default ``--store auto``) later mmap-opens in O(1) without re-parsing.
 ``serve-bench`` load-tests the concurrent query service
 (:mod:`repro.serve`) with a seeded mixed workload.
 """
@@ -166,6 +170,24 @@ def build_parser() -> argparse.ArgumentParser:
                                   "traces (K slowest + most recent) as "
                                   "Chrome trace JSON (implies --trace)")
 
+    index = commands.add_parser(
+        "index",
+        help="parse an XML document and save its columnar index "
+             "(mmap-opened in O(1) by --store columnar / the catalog; "
+             "see docs/STORAGE.md)")
+    index.add_argument("input", help="XML document file")
+    index.add_argument("--output", "-o", default=None, metavar="FILE",
+                       help="index file to write "
+                            "(default: INPUT with a .rpxc suffix)")
+    index.add_argument("--verify", action="store_true",
+                       help="re-open the written file, check the "
+                            "checksum and every structural invariant, "
+                            "and compare all columns against the "
+                            "in-memory build")
+    index.add_argument("--stats", action="store_true",
+                       help="print per-tag stream sizes next to the "
+                            "summary line")
+
     generate = commands.add_parser(
         "generate", help="write a synthetic benchmark document")
     generate.add_argument("kind", choices=["member", "deep", "xmark"])
@@ -182,8 +204,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_document_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--doc", help="XML document file "
+    parser.add_argument("--doc", help="document file: XML text or a "
+                                      "saved columnar index "
                                       "(default: a built-in sample)")
+    parser.add_argument("--store", choices=["auto", "object", "columnar"],
+                        default="auto",
+                        help="document store: 'columnar' mmap-opens a "
+                             "saved index file ('repro index'), 'object' "
+                             "parses XML text, 'auto' sniffs the file "
+                             "magic (default)")
     parser.add_argument("--no-summary", action="store_true",
                         help="disable the structural path summary "
                              "(pattern prefiltering and selectivity-"
@@ -207,7 +236,9 @@ def _load_engine(args) -> Engine:
     if chain is not None:
         kwargs["fallback_chain"] = None if chain.lower() == "none" else chain
     if args.doc:
-        return Engine.from_file(args.doc, **kwargs)
+        return Engine.from_file(args.doc,
+                                store=getattr(args, "store", "auto"),
+                                **kwargs)
     return Engine.from_xml(SAMPLE_DOCUMENT, **kwargs)
 
 
@@ -361,6 +392,53 @@ def _command_serve_bench(args, out) -> int:
     return 0
 
 
+def _command_index(args, out) -> int:
+    import time as _time
+    from .xmltree import ColumnarDocument, IndexedDocument, parse_xml_file
+
+    output = args.output
+    if output is None:
+        stem = args.input[:-4] if args.input.endswith(".xml") \
+            else args.input
+        output = stem + ".rpxc"
+    started = _time.perf_counter()
+    document = IndexedDocument(parse_xml_file(args.input))
+    columns = document.columns
+    size = document.save(output)
+    elapsed = _time.perf_counter() - started
+    print(f"indexed {args.input}: {columns.n} nodes, "
+          f"{len(columns.tag_pres)} tags, "
+          f"{len(columns.attribute_pres)} attribute names", file=out)
+    print(f"wrote {output}: {size} bytes "
+          f"in {elapsed * 1000:.1f} ms "
+          f"(columns built in {columns.build_seconds * 1000:.1f} ms)",
+          file=out)
+    if args.stats:
+        for tag in sorted(columns.tag_pres):
+            print(f"  {tag:>20}: {len(columns.tag_pres[tag])} elements",
+                  file=out)
+    if args.verify:
+        reopened = ColumnarDocument.open(output)
+        reopened.validate()
+        for name in ("post", "level", "end", "parent", "name_id",
+                     "text_id"):
+            if list(getattr(reopened, name)) != \
+                    list(getattr(columns, name)):
+                print(f"verify FAILED: column {name!r} differs",
+                      file=out)
+                return 1
+        if list(reopened.kind) != list(columns.kind) or \
+                list(reopened.names) != list(columns.names) or \
+                list(reopened.texts) != list(columns.texts):
+            print("verify FAILED: dictionaries differ", file=out)
+            return 1
+        reopened.close()
+        print(f"verified {output}: checksum, invariants and all "
+              f"columns match (opened in "
+              f"{reopened.open_seconds * 1000:.2f} ms)", file=out)
+    return 0
+
+
 def _command_generate(args, out) -> int:
     if args.kind == "member":
         document = member_document(args.size, depth=args.depth or 4,
@@ -385,6 +463,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "visualize": _command_visualize,
     "serve-bench": _command_serve_bench,
+    "index": _command_index,
     "generate": _command_generate,
 }
 

@@ -35,7 +35,7 @@ from .physical import Strategy, make_algorithm
 from .rewrite import RewriteOptions, RewriteTrace, rewrite_to_tpnf
 from .trace import ExplainAnalysis, Trace, Tracer, maybe_span
 from .typing import infer_type
-from .xmltree import IndexedDocument, Node, parse_xml
+from .xmltree import IndexedDocument, Node, is_columnar_file, parse_xml
 from .xqcore import CExpr, NormalizedQuery, Var, alpha_canonical, normalize_query, pretty
 from .xquery import ast as surface_ast
 from .xquery import parse_query
@@ -165,9 +165,35 @@ class Engine:
         return cls(IndexedDocument.from_string(text), **kwargs)
 
     @classmethod
-    def from_file(cls, path: str, **kwargs) -> "Engine":
+    def from_file(cls, path: str, store: str = "auto", **kwargs) -> "Engine":
+        """Build an engine from a file on disk.
+
+        ``store`` selects the document representation: ``"auto"`` (the
+        default) sniffs the file magic and opens saved columnar index
+        files (see ``repro index`` / :meth:`from_columnar_file`) via
+        mmap, parsing everything else as XML; ``"columnar"`` requires a
+        columnar file; ``"object"`` requires XML text.
+        """
+        if store not in ("auto", "object", "columnar"):
+            raise InputError(
+                f"unknown store {store!r}; valid stores: auto, object, "
+                f"columnar", store=store)
+        columnar = is_columnar_file(path)
+        if store == "columnar" or (store == "auto" and columnar):
+            return cls.from_columnar_file(path, **kwargs)
+        if store == "object" and columnar:
+            raise InputError(
+                f"{path} is a columnar index file, not XML; open it "
+                f"with store='columnar' (or 'auto')", path=path)
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_xml(handle.read(), **kwargs)
+
+    @classmethod
+    def from_columnar_file(cls, path: str, verify: bool = True,
+                           **kwargs) -> "Engine":
+        """mmap-open a saved columnar index (``.rpxc``) — O(1), no
+        re-parse, no re-index (see :mod:`repro.xmltree.columnar`)."""
+        return cls(IndexedDocument.open(path, verify=verify), **kwargs)
 
     # -- compilation ------------------------------------------------------------
 
@@ -235,6 +261,12 @@ class Engine:
                 with metrics.stage("summary"), \
                         maybe_span(tracing, "summary"):
                     self.document.summary
+            # Warm the integer columns the stream joins scan.  Derived
+            # once per document (column-first documents carry them from
+            # birth); later compiles record a near-zero cache-hit time.
+            with metrics.stage("columnar"), \
+                    maybe_span(tracing, "columnar"):
+                self.document.columns
         compiled = CompiledQuery(text=query, surface=surface,
                                  normalized=normalized, tpnf=tpnf, plan=plan,
                                  optimized=optimized,

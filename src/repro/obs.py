@@ -48,9 +48,10 @@ __all__ = [
 DECISION_RING_SIZE = 256
 
 #: the compilation stages, in pipeline order (paper Figure 2, plus the
-#: structural-summary construction the engine times on first compile).
+#: structural-summary and integer-column constructions the engine times
+#: on first compile).
 PIPELINE_STAGES = ("parse", "normalize", "rewrite", "compile", "optimize",
-                   "summary")
+                   "summary", "columnar")
 
 
 # -- compile-time metrics ------------------------------------------------------

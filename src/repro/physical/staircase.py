@@ -12,6 +12,14 @@ context nodes at once on the pre/post plane:
   in document order *without a sort* and duplicate-free *without a
   dedup*.
 
+Since the columnar refactor the whole evaluation runs in *integer
+space*: contexts are converted to ``pre`` numbers once, every step is a
+merge of ``pre`` streams against the document's
+:class:`~repro.xmltree.columnar.ColumnarDocument` columns (``end``,
+``parent``, ``kind``), and node objects are materialized only at the
+result boundary — exactly the staircase join of Grust et al., which is
+defined over the integer pre/post plane, not over heap objects.
+
 Patterns are evaluated spine-step-by-spine-step (each step one
 staircase join); predicate branches are existential semi-joins that
 filter the step's output.  This set-at-a-time, multi-pass style is
@@ -25,13 +33,14 @@ Axes outside the downward fragment fall back to NLJoin.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import List
+from typing import List, Sequence
 
 from ..guard.chaos import chaos_point
 from ..pattern import PatternPath, PatternStep
 from ..xmltree.axes import Axis
+from ..xmltree.columnar import KIND_ELEMENT, ColumnarDocument
 from ..xmltree.document import IndexedDocument
-from ..xmltree.node import AttributeNode, ElementNode, Node
+from ..xmltree.node import Node
 from ..xmltree.nodetest import (ElementTest, NameTest, NodeTest, TextTest,
                                 WildcardTest)
 from .base import Binding, TreePatternAlgorithm
@@ -42,7 +51,7 @@ _SUPPORTED_AXES = (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF,
 
 
 class StaircaseJoin(TreePatternAlgorithm):
-    """Set-at-a-time staircase join evaluation."""
+    """Set-at-a-time staircase join evaluation in integer pre-space."""
 
     name = "scjoin"
 
@@ -67,16 +76,20 @@ class StaircaseJoin(TreePatternAlgorithm):
                      contexts: List[Node], path: PatternPath) -> List[Node]:
         if not _supported(path):
             return self._fallback.match_single(document, contexts, path)
-        current = _prune_duplicates(contexts)
+        columns = document.columns
+        # Into integer space: sorted, duplicate-free context pres.
+        current: List[int] = sorted({node.pre for node in contexts})
         for step in path.steps:
             if step.position is not None:
-                current = self._positional_step(document, current, step)
+                current = self._positional_step(columns, current, step)
                 continue
-            current = self._staircase_step(document, current, step)
+            current = self._staircase_step(columns, current, step)
             for branch in step.predicates:
-                current = [node for node in current
-                           if self._branch_exists(document, node, branch)]
-        return chaos_point("scjoin.match", current)
+                current = [pre for pre in current
+                           if self._branch_exists(columns, pre, branch)]
+        # Out of integer space: nodes exist only at the result boundary.
+        return chaos_point("scjoin.match",
+                           [document.node_at(pre) for pre in current])
 
     def enumerate_bindings(self, document: IndexedDocument, context: Node,
                            path: PatternPath) -> List[Binding]:
@@ -88,10 +101,11 @@ class StaircaseJoin(TreePatternAlgorithm):
 
     # -- the join ----------------------------------------------------------------
 
-    def _staircase_step(self, document: IndexedDocument,
-                        contexts: List[Node], step: PatternStep) -> List[Node]:
-        """One staircase join: contexts (doc order, dup-free) → results
-        (doc order, dup-free)."""
+    def _staircase_step(self, columns: ColumnarDocument,
+                        contexts: List[int],
+                        step: PatternStep) -> List[int]:
+        """One staircase join: context pres (doc order, dup-free) →
+        result pres (doc order, dup-free)."""
         if not contexts:
             return []
         axis = step.axis
@@ -101,39 +115,45 @@ class StaircaseJoin(TreePatternAlgorithm):
             kind = axis.principal_kind
             if self.metrics is not None:
                 self.metrics.nodes_visited[self.name] += len(contexts)
-            return [node for node in contexts if step.test.matches(node, kind)]
+            test = step.test
+            return [pre for pre in contexts
+                    if columns.test_matches(pre, test, kind)]
         if axis is Axis.ATTRIBUTE:
-            result: list[Node] = []
+            result: List[int] = []
+            kind_column = columns.kind
+            test = step.test
             for context in contexts:
-                if isinstance(context, ElementNode):
+                if kind_column[context] == KIND_ELEMENT:
+                    attributes = columns.attributes_of(context)
                     if self.metrics is not None:
                         self.metrics.nodes_visited[self.name] += \
-                            len(context.attributes)
+                            len(attributes)
                     result.extend(
-                        attribute for attribute in context.attributes
-                        if step.test.matches(attribute, "attribute"))
+                        pre for pre in attributes
+                        if columns.test_matches(pre, test, "attribute"))
             return result
         if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
-            return self._descendant_join(document, contexts, step,
+            return self._descendant_join(columns, contexts, step,
                                          axis is Axis.DESCENDANT_OR_SELF)
         if axis is Axis.CHILD:
-            return self._child_join(document, contexts, step)
+            return self._child_join(columns, contexts, step)
         raise AssertionError(f"unsupported axis {axis}")
 
-    def _descendant_join(self, document: IndexedDocument,
-                         contexts: List[Node], step: PatternStep,
-                         include_self: bool) -> List[Node]:
-        stream, pres = _stream(document, step.test)
-        pruned = _prune_covered(contexts)
-        result: list[Node] = []
+    def _descendant_join(self, columns: ColumnarDocument,
+                         contexts: List[int], step: PatternStep,
+                         include_self: bool) -> List[int]:
+        pres = _stream(columns, step.test)
+        end_column = columns.end
+        pruned = _prune_covered(contexts, end_column)
+        result: List[int] = []
         # The pruned staircase has pairwise-disjoint regions in document
         # order: concatenating the partition scans yields sorted,
         # duplicate-free output with no post-processing.
         for context in pruned:
-            low_key = context.pre if include_self else context.pre + 1
+            low_key = context if include_self else context + 1
             low = bisect_left(pres, low_key)
-            high = bisect_right(pres, context.end)
-            result.extend(stream[low:high])
+            high = bisect_right(pres, end_column[context])
+            result.extend(pres[low:high])
         if self.metrics is not None:
             self.metrics.stream_scanned[self.name] += len(result)
             self.metrics.nodes_visited[self.name] += len(result)
@@ -141,73 +161,74 @@ class StaircaseJoin(TreePatternAlgorithm):
             self.governor.tick(len(result))
         return result
 
-    def _child_join(self, document: IndexedDocument,
-                    contexts: List[Node], step: PatternStep) -> List[Node]:
-        stream, pres = _stream(document, step.test)
+    def _child_join(self, columns: ColumnarDocument,
+                    contexts: List[int], step: PatternStep) -> List[int]:
+        pres = _stream(columns, step.test)
+        end_column = columns.end
+        parent_column = columns.parent
         # Children of distinct contexts are disjoint, but nested contexts
         # interleave regions; detect the (common) non-nested case to skip
         # the merge.
-        chunks: list[list[Node]] = []
+        merged: List[int] = []
         nested = False
         previous_end = -1
         for context in contexts:
-            if context.pre <= previous_end:
+            if context <= previous_end:
                 nested = True
-            previous_end = max(previous_end, context.end)
-            low = bisect_left(pres, context.pre + 1)
-            high = bisect_right(pres, context.end)
+            end = end_column[context]
+            previous_end = max(previous_end, end)
+            low = bisect_left(pres, context + 1)
+            high = bisect_right(pres, end)
             if self.metrics is not None:
                 self.metrics.stream_scanned[self.name] += high - low
                 self.metrics.nodes_visited[self.name] += high - low
             if self.governor is not None:
                 self.governor.tick(high - low + 1)
-            chunks.append([node for node in stream[low:high]
-                           if node.parent is context])
-        if not nested:
-            return [node for chunk in chunks for node in chunk]
-        merged = [node for chunk in chunks for node in chunk]
-        merged.sort(key=lambda node: node.pre)
+            merged.extend(pre for pre in pres[low:high]
+                          if parent_column[pre] == context)
+        if nested:
+            merged = sorted(set(merged))
         return merged
 
-    def _positional_step(self, document: IndexedDocument,
-                         contexts: List[Node],
-                         step: PatternStep) -> List[Node]:
+    def _positional_step(self, columns: ColumnarDocument,
+                         contexts: List[int],
+                         step: PatternStep) -> List[int]:
         """A positional step (``step[P]...[n]``) is inherently
         per-context: the staircase's bulk partition scan cannot apply,
         so each context is answered with its own region scan (positions
         count per context node, after branch filtering)."""
-        chunks: list[list[Node]] = []
+        end_column = columns.end
+        merged: List[int] = []
         nested = False
         previous_end = -1
         for context in contexts:
-            if context.pre <= previous_end:
+            if context <= previous_end:
                 nested = True
-            previous_end = max(previous_end, context.end)
-            survivors = self._staircase_step(document, [context], step)
+            previous_end = max(previous_end, end_column[context])
+            survivors = self._staircase_step(columns, [context], step)
             for branch in step.predicates:
-                survivors = [node for node in survivors
-                             if self._branch_exists(document, node, branch)]
+                survivors = [pre for pre in survivors
+                             if self._branch_exists(columns, pre, branch)]
             index = step.position - 1
             if 0 <= index < len(survivors):
-                chunks.append([survivors[index]])
-        merged = [node for chunk in chunks for node in chunk]
+                merged.append(survivors[index])
         if nested:
-            merged.sort(key=lambda node: node.pre)
-            merged = _prune_duplicates(merged)
+            merged = sorted(set(merged))
         return merged
 
-    def _branch_exists(self, document: IndexedDocument, context: Node,
+    def _branch_exists(self, columns: ColumnarDocument, context: int,
                        branch: PatternPath) -> bool:
         """Existential semi-join of a predicate branch from one node."""
         current = [context]
         for step in branch.steps:
             if step.position is not None:
-                current = self._positional_step(document, current, step)
+                current = self._positional_step(columns, current, step)
             else:
-                current = self._staircase_step(document, current, step)
+                current = self._staircase_step(columns, current, step)
                 for nested in step.predicates:
-                    current = [node for node in current
-                               if self._branch_exists(document, node, nested)]
+                    current = [pre for pre in current
+                               if self._branch_exists(columns, pre,
+                                                      nested)]
             if not current:
                 return False
         return bool(current)
@@ -225,39 +246,26 @@ def _supported(path: PatternPath) -> bool:
     return True
 
 
-def _stream(document: IndexedDocument, test: NodeTest):
-    """The document-wide stream (nodes, pres) matching a node test."""
+def _stream(columns: ColumnarDocument, test: NodeTest) -> Sequence[int]:
+    """The document-wide sorted ``pre`` stream matching a node test."""
     if isinstance(test, NameTest):
-        stream = document.stream(test.name)
-        return stream, document.tag_pres.get(test.name, [])
+        return columns.element_stream(test.name)
+    if isinstance(test, ElementTest) and test.name is not None:
+        return columns.element_stream(test.name)
     if isinstance(test, (WildcardTest, ElementTest)):
-        nodes = [node for node in document.nodes_by_pre
-                 if isinstance(node, ElementNode) and test.matches(node)]
-    elif isinstance(test, TextTest):
-        nodes = list(document.text_stream)
-    else:  # node()
-        nodes = [node for node in document.nodes_by_pre
-                 if not isinstance(node, AttributeNode)]
-    return nodes, [node.pre for node in nodes]
+        return columns.element_pres
+    if isinstance(test, TextTest):
+        return columns.text_pres
+    # node(): attributes are only reachable via the attribute axis.
+    return columns.non_attribute_pres
 
 
-def _prune_duplicates(contexts: List[Node]) -> List[Node]:
-    ordered = sorted(contexts, key=lambda node: node.pre)
-    result: list[Node] = []
-    previous = None
-    for node in ordered:
-        if node is not previous:
-            result.append(node)
-        previous = node
-    return result
-
-
-def _prune_covered(contexts: List[Node]) -> List[Node]:
+def _prune_covered(contexts: List[int], end_column) -> List[int]:
     """Drop contexts contained in an earlier context (staircase pruning)."""
-    pruned: list[Node] = []
+    pruned: List[int] = []
     boundary = -1
     for context in contexts:
-        if context.pre > boundary:
+        if context > boundary:
             pruned.append(context)
-            boundary = context.end
+            boundary = end_column[context]
     return pruned

@@ -14,6 +14,13 @@ in the style of Bruno, Koudas & Srivastava's TwigStack:
   relaxed child/attribute edges are enforced — the standard "suboptimal
   but correct" treatment of parent-child edges).
 
+Since the columnar refactor the sweep runs entirely in *integer space*:
+streams, stacks and candidates are ``pre`` numbers, the open/closed
+bookkeeping reads the document's ``end`` column, edges are checked
+against the ``parent``/``kind`` columns, and node objects are
+materialized only at the result boundary (the returned matches or
+bindings).
+
 Each ``TupleTreePattern`` evaluation scans the streams restricted (by
 binary search) to the context node's region, which gives TwigJoin the
 per-step index-scan cost profile of the paper's Section 5.3 experiment.
@@ -26,16 +33,17 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..guard.chaos import chaos_point
-from ..pattern import PatternPath, TreePattern
+from ..pattern import PatternPath
 from ..xmltree.axes import Axis
+from ..xmltree.columnar import KIND_ATTRIBUTE, ColumnarDocument
 from ..xmltree.document import IndexedDocument
-from ..xmltree.node import AttributeNode, ElementNode, Node
+from ..xmltree.node import Node
 from ..xmltree.nodetest import (ElementTest, NameTest, NodeTest, TextTest,
                                 WildcardTest)
-from .base import Binding, TreePatternAlgorithm, distinct_doc_order
+from .base import Binding, TreePatternAlgorithm
 from .nljoin import NLJoin
 
 _SUPPORTED_AXES = (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF,
@@ -58,11 +66,10 @@ class _QueryNode:
     is_continuation: bool = False
     parent: Optional["_QueryNode"] = None
     children: List["_QueryNode"] = field(default_factory=list)
-    # Per-evaluation state.
-    stream: List[Node] = field(default_factory=list)
-    stack: List[Node] = field(default_factory=list)
-    candidates: List[Node] = field(default_factory=list)
-    candidate_pres: List[int] = field(default_factory=list)
+    # Per-evaluation state, all in integer pre-space.
+    stream: Sequence[int] = ()
+    stack: List[int] = field(default_factory=list)
+    candidates: List[int] = field(default_factory=list)
 
 
 def _build_query_tree(path: PatternPath, on_spine: bool,
@@ -96,7 +103,7 @@ def _build_query_tree(path: PatternPath, on_spine: bool,
 
 
 class TwigJoin(TreePatternAlgorithm):
-    """Holistic twig join over per-tag streams."""
+    """Holistic twig join over per-tag integer streams."""
 
     name = "twigjoin"
 
@@ -121,32 +128,40 @@ class TwigJoin(TreePatternAlgorithm):
                      contexts: List[Node], path: PatternPath) -> List[Node]:
         if not _supported(path):
             return self._fallback.match_single(document, contexts, path)
-        results: list[Node] = []
+        columns = document.columns
+        results: List[int] = []
         for context in contexts:
-            spine_index, matches = self._solve(document, context, path)
+            spine_index, matches = self._solve(columns, context, path)
             results.extend(match[spine_index] for match in matches)
-        return chaos_point("twigjoin.match", distinct_doc_order(results))
+        # distinct-doc-order in integer space, nodes only at the result
+        # boundary.
+        return chaos_point("twigjoin.match",
+                           [document.node_at(pre)
+                            for pre in sorted(set(results))])
 
     def enumerate_bindings(self, document: IndexedDocument, context: Node,
                            path: PatternPath) -> List[Binding]:
         if not _supported(path):
             return self._fallback.enumerate_bindings(document, context, path)
-        nodes: list[_QueryNode] = []
+        columns = document.columns
+        nodes: List[_QueryNode] = []
         root = _build_query_tree(path, on_spine=True, nodes=nodes)
-        matches = _twig_matches(document, context, root, nodes,
-                                metrics=self.metrics, governor=self.governor)
-        bindings: list[Binding] = []
+        matches = _twig_matches(columns, context.pre, context.end, root,
+                                nodes, metrics=self.metrics,
+                                governor=self.governor)
+        bindings: List[Binding] = []
         for match in matches:
             binding: Binding = {}
             for query_node in nodes:
                 if query_node.output_field is not None:
-                    binding[query_node.output_field] = match[query_node.index]
+                    binding[query_node.output_field] = \
+                        document.node_at(match[query_node.index])
             bindings.append(binding)
         return chaos_point("twigjoin.enumerate", bindings)
 
-    def _solve(self, document: IndexedDocument, context: Node,
+    def _solve(self, columns: ColumnarDocument, context: Node,
                path: PatternPath):
-        nodes: list[_QueryNode] = []
+        nodes: List[_QueryNode] = []
         root = _build_query_tree(path, on_spine=True, nodes=nodes)
         spine_leaf = root
         while True:
@@ -154,8 +169,9 @@ class TwigJoin(TreePatternAlgorithm):
             if not next_spine:
                 break
             spine_leaf = next_spine[0]
-        return spine_leaf.index, _twig_matches(document, context, root,
-                                               nodes, metrics=self.metrics,
+        return spine_leaf.index, _twig_matches(columns, context.pre,
+                                               context.end, root, nodes,
+                                               metrics=self.metrics,
                                                governor=self.governor)
 
 
@@ -170,53 +186,54 @@ def _supported(path: PatternPath) -> bool:
     return True
 
 
-def _stream_for(document: IndexedDocument, context: Node,
-                node: _QueryNode) -> List[Node]:
-    """The region-restricted stream for one query node."""
+def _stream_for(columns: ColumnarDocument, context_pre: int,
+                context_end: int, node: _QueryNode) -> Sequence[int]:
+    """The region-restricted ``pre`` stream for one query node."""
     include_self = node.axis is Axis.DESCENDANT_OR_SELF
     test = node.test
     if node.axis is Axis.ATTRIBUTE:
         if isinstance(test, NameTest):
-            stream: List[Node] = list(
-                document.attribute_streams.get(test.name, []))
+            pres = columns.attribute_stream(test.name)
         else:
-            stream = [attribute
-                      for element in document.all_elements()
-                      for attribute in element.attributes]
-            stream.sort(key=lambda item: item.pre)
-        return _region_slice(stream, context, include_self=False)
+            pres = columns.all_attribute_pres
+        return _region_slice(pres, context_pre, context_end,
+                             include_self=False)
     if isinstance(test, NameTest):
-        return _region_slice(list(document.stream(test.name)), context,
-                             include_self)
+        return _region_slice(columns.element_stream(test.name),
+                             context_pre, context_end, include_self)
     if isinstance(test, (WildcardTest, ElementTest)):
-        elements = [n for n in document.nodes_by_pre
-                    if isinstance(n, ElementNode) and test.matches(n)]
-        return _region_slice(elements, context, include_self)
+        sliced = _region_slice(columns.element_pres, context_pre,
+                               context_end, include_self)
+        if isinstance(test, ElementTest) and test.name is not None:
+            name_id = columns.name_id
+            names = columns.names
+            return [pre for pre in sliced
+                    if names[name_id[pre]] == test.name]
+        return sliced
     # node(): every node in the region — except attributes, which are
     # only reachable via the attribute axis, never as children or
     # descendants.
-    low = context.pre if include_self else context.pre + 1
-    return [n for n in document.nodes_by_pre[low:context.end + 1]
-            if not isinstance(n, AttributeNode)]
+    return _region_slice(columns.non_attribute_pres, context_pre,
+                         context_end, include_self)
 
 
-def _region_slice(stream: List[Node], context: Node,
-                  include_self: bool) -> List[Node]:
-    pres = [node.pre for node in stream]
-    low_key = context.pre if include_self else context.pre + 1
+def _region_slice(pres: Sequence[int], context_pre: int, context_end: int,
+                  include_self: bool) -> Sequence[int]:
+    low_key = context_pre if include_self else context_pre + 1
     low = bisect_left(pres, low_key)
-    high = bisect_right(pres, context.end)
-    return stream[low:high]
+    high = bisect_right(pres, context_end)
+    return pres[low:high]
 
 
-def _twig_matches(document: IndexedDocument, context: Node,
-                  root: _QueryNode, nodes: List[_QueryNode],
-                  metrics=None, governor=None) -> list:
+def _twig_matches(columns: ColumnarDocument, context_pre: int,
+                  context_end: int, root: _QueryNode,
+                  nodes: List[_QueryNode], metrics=None,
+                  governor=None) -> list:
     for query_node in nodes:
-        query_node.stream = _stream_for(document, context, query_node)
+        query_node.stream = _stream_for(columns, context_pre, context_end,
+                                        query_node)
         query_node.stack = []
         query_node.candidates = []
-        query_node.candidate_pres = []
     total_stream = sum(len(query_node.stream) for query_node in nodes)
     if metrics is not None:
         metrics.stream_scanned[TwigJoin.name] += total_stream
@@ -224,68 +241,76 @@ def _twig_matches(document: IndexedDocument, context: Node,
         # Pre-charge the sweep about to happen so the budget trips
         # before the work, not after.
         governor.tick(total_stream + 1)
-    _stack_phase(context, nodes, metrics=metrics)
+    _stack_phase(columns, context_pre, context_end, nodes, metrics=metrics)
     if any(not query_node.candidates for query_node in nodes):
         return []
-    return _expand(context, root, nodes, governor=governor)
+    return _expand(columns, context_pre, root, nodes, governor=governor)
 
 
-def _stack_phase(context: Node, nodes: List[_QueryNode],
+def _stack_phase(columns: ColumnarDocument, context_pre: int,
+                 context_end: int, nodes: List[_QueryNode],
                  metrics=None) -> None:
     """Sweep all streams in document order, keeping per-query-node stacks
     of open elements; an element is a candidate when an element of its
     parent query node (or the context, for roots) is open."""
-    events: list[tuple[int, int, Node]] = []
+    end_column = columns.end
+    events: List[tuple] = []
     for query_node in nodes:
-        events.extend((element.pre, query_node.index, element)
-                      for element in query_node.stream)
+        index = query_node.index
+        events.extend((pre, index) for pre in query_node.stream)
     events.sort(key=lambda event: event[0])
     pushes = 0
     candidates_kept = 0
-    open_root = context
-    for pre, index, element in events:
+    for pre, index in events:
         query_node = nodes[index]
         parent = query_node.parent
         if parent is None:
-            ancestor_open = open_root.contains_or_self(element) \
-                if query_node.axis is Axis.DESCENDANT_OR_SELF \
-                else open_root.contains(element)
+            if query_node.axis is Axis.DESCENDANT_OR_SELF:
+                ancestor_open = context_pre <= pre <= context_end
+            else:
+                ancestor_open = context_pre < pre <= context_end
         else:
-            while parent.stack and parent.stack[-1].end < pre:
-                parent.stack.pop()
-            ancestor_open = bool(parent.stack)
+            stack = parent.stack
+            while stack and end_column[stack[-1]] < pre:
+                stack.pop()
+            ancestor_open = bool(stack)
         if not ancestor_open:
             continue
-        while query_node.stack and query_node.stack[-1].end < pre:
-            query_node.stack.pop()
-        query_node.stack.append(element)
+        stack = query_node.stack
+        while stack and end_column[stack[-1]] < pre:
+            stack.pop()
+        stack.append(pre)
         pushes += 1
-        query_node.candidates.append(element)
+        query_node.candidates.append(pre)
         candidates_kept += 1
-        query_node.candidate_pres.append(element.pre)
     if metrics is not None:
         metrics.stack_pushes[TwigJoin.name] += pushes
         metrics.nodes_visited[TwigJoin.name] += candidates_kept
 
 
-def _candidates_under(query_node: _QueryNode, anchor: Node) -> list:
+def _candidates_under(columns: ColumnarDocument, query_node: _QueryNode,
+                      anchor: int) -> List[int]:
     include_self = query_node.axis is Axis.DESCENDANT_OR_SELF
-    low_key = anchor.pre if include_self else anchor.pre + 1
-    low = bisect_left(query_node.candidate_pres, low_key)
-    high = bisect_right(query_node.candidate_pres, anchor.end)
-    return [candidate for candidate in query_node.candidates[low:high]
-            if _edge_holds(anchor, candidate, query_node.axis)]
+    low_key = anchor if include_self else anchor + 1
+    candidates = query_node.candidates
+    low = bisect_left(candidates, low_key)
+    high = bisect_right(candidates, columns.end[anchor])
+    return [candidate for candidate in candidates[low:high]
+            if _edge_holds(columns, anchor, candidate, query_node.axis)]
 
 
-def _surviving_candidates(query_node: _QueryNode, anchor: Node) -> list:
+def _surviving_candidates(columns: ColumnarDocument,
+                          query_node: _QueryNode,
+                          anchor: int) -> List[int]:
     """Edge- and predicate-filtered candidates in document order, with
     the positional extension applied (positions count per anchor, after
     the predicate branches, before any path continuation)."""
     predicates = [child for child in query_node.children
                   if not child.is_continuation]
     survivors = [candidate
-                 for candidate in _candidates_under(query_node, anchor)
-                 if all(_branch_exists(child, candidate)
+                 for candidate in _candidates_under(columns, query_node,
+                                                    anchor)
+                 if all(_branch_exists(columns, child, candidate)
                         for child in predicates)]
     if query_node.position is not None:
         index = query_node.position - 1
@@ -294,18 +319,19 @@ def _surviving_candidates(query_node: _QueryNode, anchor: Node) -> list:
     return survivors
 
 
-def _branch_exists(query_node: _QueryNode, anchor: Node) -> bool:
+def _branch_exists(columns: ColumnarDocument, query_node: _QueryNode,
+                   anchor: int) -> bool:
     """Existential check of one (sub-)branch from an anchor element."""
     continuations = [child for child in query_node.children
                      if child.is_continuation]
-    for candidate in _surviving_candidates(query_node, anchor):
-        if all(_branch_exists(child, candidate)
+    for candidate in _surviving_candidates(columns, query_node, anchor):
+        if all(_branch_exists(columns, child, candidate)
                for child in continuations):
             return True
     return False
 
 
-def _expand(context: Node, root: _QueryNode,
+def _expand(columns: ColumnarDocument, context_pre: int, root: _QueryNode,
             nodes: List[_QueryNode], governor=None) -> list:
     """Merge candidates into full matches, enforcing exact axes.
 
@@ -315,19 +341,20 @@ def _expand(context: Node, root: _QueryNode,
     carry output fields are enumerated too, producing bindings in
     root-to-leaf lexical order.
     """
-    matches: list[list[Node]] = []
-    assignment: dict[int, Node] = {}
+    matches: List[List[Optional[int]]] = []
+    assignment: dict = {}
 
-    def enumerate_node(todo: list[_QueryNode]) -> None:
+    def enumerate_node(todo: List[_QueryNode]) -> None:
         if not todo:
             matches.append([assignment.get(n.index) for n in nodes])
             return
         query_node = todo[0]
         anchor = (assignment[query_node.parent.index]
-                  if query_node.parent is not None else context)
+                  if query_node.parent is not None else context_pre)
         spine_children = [child for child in query_node.children
                           if child.is_continuation]
-        for candidate in _surviving_candidates(query_node, anchor):
+        for candidate in _surviving_candidates(columns, query_node,
+                                               anchor):
             if governor is not None:
                 # The expansion is the one phase that can blow up
                 # combinatorially; charge per candidate considered.
@@ -340,14 +367,15 @@ def _expand(context: Node, root: _QueryNode,
     return matches
 
 
-def _edge_holds(ancestor: Node, candidate: Node, axis: Axis) -> bool:
+def _edge_holds(columns: ColumnarDocument, ancestor: int, candidate: int,
+                axis: Axis) -> bool:
     if axis is Axis.CHILD:
-        return candidate.parent is ancestor
+        return columns.parent[candidate] == ancestor
     if axis is Axis.ATTRIBUTE:
-        return (isinstance(candidate, AttributeNode)
-                and candidate.parent is ancestor)
+        return (columns.kind[candidate] == KIND_ATTRIBUTE
+                and columns.parent[candidate] == ancestor)
     if axis is Axis.DESCENDANT:
-        return ancestor.contains(candidate)
+        return ancestor < candidate <= columns.end[ancestor]
     if axis is Axis.DESCENDANT_OR_SELF:
-        return ancestor.contains_or_self(candidate)
+        return ancestor <= candidate <= columns.end[ancestor]
     return False

@@ -82,11 +82,26 @@ class DocumentCatalog:
                        lambda: Engine.from_xml(
                            text, **self._options(engine_options)))
 
-    def add_file(self, name: str, path: str, **engine_options) -> None:
-        """Register an XML file; read and indexed on first use."""
+    def add_file(self, name: str, path: str, store: str = "auto",
+                 **engine_options) -> None:
+        """Register a file; loaded on first use.  With the default
+        ``store="auto"`` a saved columnar index (``repro index``) is
+        mmap-opened in O(1) — no re-parse, no re-index — and anything
+        else is parsed as XML."""
         self._register(name,
                        lambda: Engine.from_file(
-                           path, **self._options(engine_options)))
+                           path, store=store,
+                           **self._options(engine_options)))
+
+    def add_columnar_file(self, name: str, path: str, verify: bool = True,
+                          **engine_options) -> None:
+        """Register a saved columnar index file (see
+        :meth:`~repro.xmltree.ColumnarDocument.save`); mmap-opened on
+        first use without re-parsing."""
+        self._register(name,
+                       lambda: Engine.from_columnar_file(
+                           path, verify=verify,
+                           **self._options(engine_options)))
 
     def add_factory(self, name: str,
                     factory: Callable[[], IndexedDocument],

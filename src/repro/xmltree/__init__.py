@@ -2,6 +2,9 @@
 
 from .axes import Axis, axis_from_string, axis_nodes, step
 from .builder import E, build_document
+from .columnar import (ColumnarDocument, StorageError, is_columnar_file,
+                       KIND_ATTRIBUTE, KIND_DOCUMENT, KIND_ELEMENT,
+                       KIND_TEXT)
 from .document import IndexedDocument, ddo, document_order, is_distinct_doc_ordered
 from .node import (AttributeNode, DocumentNode, ElementNode, Node, TextNode,
                    assign_regions)
@@ -14,6 +17,8 @@ from .summary import PathStats, PathSummary, SUMMARY_AXES
 __all__ = [
     "Axis", "axis_from_string", "axis_nodes", "step",
     "E", "build_document",
+    "ColumnarDocument", "StorageError", "is_columnar_file",
+    "KIND_ATTRIBUTE", "KIND_DOCUMENT", "KIND_ELEMENT", "KIND_TEXT",
     "IndexedDocument", "ddo", "document_order", "is_distinct_doc_ordered",
     "AttributeNode", "DocumentNode", "ElementNode", "Node", "TextNode",
     "assign_regions",

@@ -6,6 +6,27 @@ the tree; they scan *streams*: for each element tag, the sorted (by
 these streams once per document, together with a dense array of all
 nodes indexed by ``pre`` number.
 
+Since the columnar refactor the class is a *two-way facade* over
+:class:`~repro.xmltree.columnar.ColumnarDocument`:
+
+tree-first
+    built from a parsed :class:`DocumentNode` (the historical path);
+    the node table and streams are built eagerly as before, and the
+    integer columns the join inner loops scan are derived lazily on
+    first access to :attr:`columns`.
+column-first
+    built from a :class:`ColumnarDocument` — typically mmap-opened from
+    a saved index file via :meth:`IndexedDocument.open`.  The joins run
+    directly on the integer columns; the object tree (and every
+    node-level accessor: :attr:`root`, :attr:`nodes_by_pre`,
+    :attr:`tag_streams`, …) is materialized lazily, in one linear pass
+    with no re-parse and no re-indexing, the first time something
+    actually needs node objects (usually result serialization).
+
+Either way, every consumer of the old API — the seven strategies, the
+path summary, the prefilter, serve, trace — sees the same attributes
+with the same meaning.
+
 The module also provides :func:`ddo` — sorting by document order with
 duplicate elimination — the dynamic counterpart of the special function
 ``fs:distinct-doc-order`` that the paper's normalization inserts.
@@ -13,35 +34,143 @@ duplicate elimination — the dynamic counterpart of the special function
 
 from __future__ import annotations
 
+import os
 import threading
 from bisect import bisect_left, bisect_right
-from typing import Iterable, Sequence
+from operator import attrgetter
+from typing import Iterable, Optional, Sequence, Union
 
+from .columnar import (KIND_ATTRIBUTE, KIND_DOCUMENT, KIND_ELEMENT,
+                       ColumnarDocument, StorageError)
 from .node import AttributeNode, DocumentNode, ElementNode, Node, TextNode
 from .parser import parse_xml
 
+_PRE_KEY = attrgetter("pre")
+
 
 class IndexedDocument:
-    """A parsed document plus the indexes the join algorithms need."""
+    """A parsed document plus the indexes the join algorithms need.
 
-    def __init__(self, root: DocumentNode) -> None:
-        self.root = root
-        self.nodes_by_pre: list[Node] = []
-        self.tag_streams: dict[str, list[ElementNode]] = {}
-        self.tag_pres: dict[str, list[int]] = {}
-        self.attribute_streams: dict[str, list[AttributeNode]] = {}
-        self.text_stream: list[TextNode] = []
+    Construct with a parsed ``root`` (tree-first) or a ``columns``
+    store (column-first) — exactly one of the two.
+    """
+
+    def __init__(self, root: Optional[DocumentNode] = None, *,
+                 columns: Optional[ColumnarDocument] = None) -> None:
+        if (root is None) == (columns is None):
+            raise ValueError(
+                "IndexedDocument takes exactly one of root= or columns=")
+        self._root = root
+        self._columns = columns
+        self._nodes_by_pre: Optional[list[Node]] = None
+        self._pres: Optional[list[int]] = None
+        self._tag_streams: Optional[dict[str, list[ElementNode]]] = None
+        self._tag_pres: Optional[dict[str, Sequence[int]]] = None
+        self._attribute_streams: Optional[
+            dict[str, list[AttributeNode]]] = None
+        self._text_stream: Optional[list[TextNode]] = None
         self._summary = None
         self._summary_lock = threading.Lock()
-        self._build()
+        self._columns_lock = threading.Lock()
+        self._tree_lock = threading.Lock()
+        self._store_kind = "object" if root is not None else "columnar"
+        if root is not None:
+            self._build()
+        else:
+            # Streams of pre numbers come straight from the columns; no
+            # node object exists until something dereferences one.
+            self._tag_pres = columns.tag_pres
 
     @classmethod
     def from_string(cls, text: str, uri: str = "") -> "IndexedDocument":
         return cls(parse_xml(text, uri))
 
+    @classmethod
+    def open(cls, path: Union[str, os.PathLike],
+             verify: bool = True) -> "IndexedDocument":
+        """Open a saved columnar index file (see
+        :meth:`ColumnarDocument.open`): O(1) mmap, no re-parse."""
+        return cls(columns=ColumnarDocument.open(path, verify=verify))
+
+    def save(self, path: Union[str, os.PathLike]) -> int:
+        """Persist the document's columnar form to ``path``; returns
+        the byte size written."""
+        return self.columns.save(path)
+
+    # -- store identity -----------------------------------------------------
+
+    @property
+    def store_kind(self) -> str:
+        """``"columnar"`` when column-first (opened from a saved index
+        or built from a :class:`ColumnarDocument`), ``"object"`` when
+        built from a parsed tree."""
+        return self._store_kind
+
+    # -- lazy column derivation (tree-first documents) -----------------------
+
+    @property
+    def columns(self) -> ColumnarDocument:
+        """The document's integer-column form (see
+        :mod:`repro.xmltree.columnar`), the representation the
+        staircase/twig join inner loops scan.
+
+        Column-first documents carry it from birth; tree-first
+        documents derive it lazily, exactly once (double-check
+        locked), from the dense node table.
+        """
+        if self._columns is None:
+            with self._columns_lock:
+                if self._columns is None:
+                    self._columns = ColumnarDocument.from_nodes(
+                        self._nodes_by_pre, uri=self._root.uri)
+        return self._columns
+
+    @property
+    def has_columns(self) -> bool:
+        """True when the columnar form already exists (no build cost
+        behind :attr:`columns`)."""
+        return self._columns is not None
+
+    # -- lazy tree materialization (column-first documents) ------------------
+
+    @property
+    def root(self) -> DocumentNode:
+        if self._root is None:
+            self._materialize()
+        return self._root
+
+    @property
+    def nodes_by_pre(self) -> list[Node]:
+        if self._nodes_by_pre is None:
+            self._materialize()
+        return self._nodes_by_pre
+
+    @property
+    def tag_streams(self) -> dict[str, list[ElementNode]]:
+        if self._tag_streams is None:
+            self._materialize()
+        return self._tag_streams
+
+    @property
+    def tag_pres(self) -> dict[str, Sequence[int]]:
+        # Available without any node object in both modes.
+        return self._tag_pres
+
+    @property
+    def attribute_streams(self) -> dict[str, list[AttributeNode]]:
+        if self._attribute_streams is None:
+            self._materialize()
+        return self._attribute_streams
+
+    @property
+    def text_stream(self) -> list[TextNode]:
+        if self._text_stream is None:
+            self._materialize()
+        return self._text_stream
+
     def _build(self) -> None:
         table: list[Node] = []
-        stack: list[Node] = [self.root]
+        stack: list[Node] = [self._root]
         while stack:
             node = stack.pop()
             table.append(node)
@@ -49,49 +178,131 @@ class IndexedDocument:
                 for attribute in node.attributes:
                     table.append(attribute)
             stack.extend(reversed(node.children))
-        table.sort(key=lambda item: item.pre)
-        self.nodes_by_pre = table
+        table.sort(key=_PRE_KEY)
+        self._nodes_by_pre = table
+        tag_streams: dict[str, list[ElementNode]] = {}
+        attribute_streams: dict[str, list[AttributeNode]] = {}
+        text_stream: list[TextNode] = []
         for node in table:
             if isinstance(node, ElementNode):
-                self.tag_streams.setdefault(node.name, []).append(node)
+                tag_streams.setdefault(node.name, []).append(node)
             elif isinstance(node, AttributeNode):
-                self.attribute_streams.setdefault(node.name, []).append(node)
+                attribute_streams.setdefault(node.name, []).append(node)
             elif isinstance(node, TextNode):
-                self.text_stream.append(node)
-        self.tag_pres = {
+                text_stream.append(node)
+        self._tag_streams = tag_streams
+        self._attribute_streams = attribute_streams
+        self._text_stream = text_stream
+        self._tag_pres = {
             tag: [element.pre for element in stream]
-            for tag, stream in self.tag_streams.items()
+            for tag, stream in tag_streams.items()
         }
+
+    def _materialize(self) -> None:
+        """Rebuild the object tree from the columns: one linear pass,
+        region numbers copied straight from the columns — no XML
+        parse, no :func:`~repro.xmltree.node.assign_regions`, no sort.
+
+        Double-check locked so concurrent first dereferences (a serve
+        worker pool serializing its first results) materialize once.
+        """
+        with self._tree_lock:
+            if self._nodes_by_pre is not None:
+                return
+            columns = self._columns
+            if columns is None:
+                raise StorageError(
+                    "document store was closed before its node tree "
+                    "was materialized", check="closed")
+            kind_col = columns.kind
+            post_col = columns.post
+            level_col = columns.level
+            end_col = columns.end
+            parent_col = columns.parent
+            n = columns.n
+            table: list[Node] = []
+            tag_streams: dict[str, list[ElementNode]] = {}
+            attribute_streams: dict[str, list[AttributeNode]] = {}
+            text_stream: list[TextNode] = []
+            root: Optional[DocumentNode] = None
+            for pre in range(n):
+                kind = kind_col[pre]
+                node: Node
+                if kind == KIND_ELEMENT:
+                    node = ElementNode(columns.name_of(pre))
+                    tag_streams.setdefault(node.name, []).append(node)
+                elif kind == KIND_ATTRIBUTE:
+                    node = AttributeNode(columns.name_of(pre),
+                                         columns.text_of(pre))
+                    attribute_streams.setdefault(node.name,
+                                                 []).append(node)
+                elif kind == KIND_DOCUMENT:
+                    node = DocumentNode(columns.uri)
+                    root = node
+                else:
+                    node = TextNode(columns.text_of(pre))
+                    text_stream.append(node)
+                node.pre = pre
+                node.post = post_col[pre]
+                node.level = level_col[pre]
+                node.end = end_col[pre]
+                parent_pre = parent_col[pre]
+                if parent_pre >= 0:
+                    parent = table[parent_pre]
+                    node.parent = parent
+                    if kind == KIND_ATTRIBUTE:
+                        parent._attributes.append(node)
+                    else:
+                        parent._children.append(node)
+                table.append(node)
+            if root is None:
+                raise StorageError("column store has no document node",
+                                   check="root", path=columns.path)
+            # Publish the complete structures in one step; readers that
+            # race past the lock see either nothing or everything.
+            self._tag_streams = tag_streams
+            self._attribute_streams = attribute_streams
+            self._text_stream = text_stream
+            self._root = root
+            self._nodes_by_pre = table
 
     # -- stream access ------------------------------------------------------
 
     @property
     def size(self) -> int:
-        return len(self.nodes_by_pre)
+        """Total node count — answered from the columns when the node
+        table does not exist yet."""
+        if self._nodes_by_pre is not None:
+            return len(self._nodes_by_pre)
+        return self._columns.n
 
     def stream(self, tag: str) -> list[ElementNode]:
         """All elements with ``tag``, sorted by ``pre``."""
         return self.tag_streams.get(tag, [])
 
     def all_elements(self) -> list[ElementNode]:
-        return [node for node in self.nodes_by_pre if isinstance(node, ElementNode)]
+        return [node for node in self.nodes_by_pre
+                if isinstance(node, ElementNode)]
 
     def stream_in_region(self, tag: str, context: Node,
                          include_self: bool = False) -> list[ElementNode]:
         """Elements with ``tag`` inside the subtree of ``context``.
 
-        Performs a binary search on the tag stream to the start of the
-        context's region, then slices the containment interval — the
-        ``log(|input|)`` index lookup cost per step that Section 5.3 of
-        the paper attributes to the stream-based algorithms.
+        Performs a binary search on the integer tag stream to the start
+        of the context's region, then slices the containment interval —
+        the ``log(|input|)`` index lookup cost per step that Section 5.3
+        of the paper attributes to the stream-based algorithms.  Only
+        the nodes inside the slice are dereferenced.
         """
-        stream = self.tag_streams.get(tag)
-        if not stream:
+        pres = self._tag_pres.get(tag)
+        if not pres:
             return []
-        pres = self.tag_pres[tag]
         low_key = context.pre if include_self else context.pre + 1
         low = bisect_left(pres, low_key)
         high = bisect_right(pres, context.end)
+        if low >= high:
+            return []
+        stream = self.tag_streams[tag]
         return stream[low:high]
 
     @property
@@ -114,30 +325,66 @@ class IndexedDocument:
         return self._summary
 
     def node_at(self, pre: int) -> Node:
-        node = self.nodes_by_pre[pre]
-        if node.pre != pre:
-            raise KeyError(f"no node with pre={pre}")
-        return node
+        """The node with the given ``pre`` number.
+
+        O(1) by construction on densely numbered tables (the normal
+        case: :func:`~repro.xmltree.node.assign_regions` numbers every
+        node, attributes included, consecutively).  If the table is
+        *not* dense — e.g. a document wrapped around a re-rooted
+        fragment that kept its original numbers — the lookup degrades
+        to a binary search instead of silently returning the wrong
+        node.  Unknown ``pre`` values raise :class:`KeyError`, never
+        :class:`IndexError` and never a negative-index alias.
+        """
+        table = self.nodes_by_pre
+        if 0 <= pre < len(table):
+            node = table[pre]
+            if node.pre == pre:
+                return node
+        if pre >= 0:
+            # Sparse table: fall back to bisect over the sorted pres.
+            if self._pres is None:
+                self._pres = [node.pre for node in table]
+            index = bisect_left(self._pres, pre)
+            if index < len(table) and table[index].pre == pre:
+                return table[index]
+        raise KeyError(f"no node with pre={pre}")
+
+    def close(self) -> None:
+        """Release the mmap behind a column-first document (no-op for
+        tree-first documents).
+
+        The integer streams are detached into plain lists first, so a
+        document whose object tree was already materialized keeps
+        answering queries (it simply becomes an ordinary in-memory
+        document)."""
+        if self._columns is not None and self._columns.is_mapped:
+            self._tag_pres = {tag: list(stream)
+                              for tag, stream in self._tag_pres.items()}
+            self._columns.close()
+            self._columns = None
 
 
 def document_order(nodes: Iterable[Node]) -> list[Node]:
     """Sort nodes by document order (within one tree)."""
-    return sorted(nodes, key=lambda node: node.pre)
+    return sorted(nodes, key=_PRE_KEY)
 
 
 def ddo(nodes: Iterable[Node]) -> list[Node]:
     """Distinct-doc-order: sort by document order and drop duplicates.
 
-    Duplicates are determined by node identity; the input may mix nodes
-    from a single tree only (the paper's setting).
+    Duplicates are determined by ``pre`` number, which coincides with
+    node identity inside a single tree (the paper's setting) and stays
+    correct when the same logical node is reachable through both the
+    object table and a columnar materialization.
     """
-    ordered = sorted(nodes, key=lambda node: node.pre)
+    ordered = sorted(nodes, key=_PRE_KEY)
     result: list[Node] = []
-    previous: Node | None = None
+    previous = -1
     for node in ordered:
-        if node is not previous:
+        if node.pre != previous:
             result.append(node)
-        previous = node
+            previous = node.pre
     return result
 
 

@@ -1,0 +1,92 @@
+"""Columnar-vs-object differential equivalence.
+
+The columnar store must be *indistinguishable* from the object store:
+for the full golden corpus and a seeded grammar-fuzzed workload
+(:mod:`tests.support.qgen`), every physical strategy running on a
+saved-then-mmap-opened columnar document must serialize byte-identically
+to the object-store reference (NLJoin on the unoptimized plan — the
+same executable baseline the curated differential suite uses).
+
+``derandomize=True`` keeps the corpus fixed, so together the two fuzz
+tests are a seeded regression run of ≥ 200 query/document pairs, each
+checked across all 8 strategies.
+"""
+
+import atexit
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Engine
+from repro.xmltree import IndexedDocument
+
+from tests.support import qgen
+from tests.support.make_golden import (GOLDEN_DIR, golden_queries,
+                                       reference_engines, render_results)
+
+ALL_STRATEGIES = ("nljoin", "twigjoin", "scjoin", "stacktree",
+                  "streaming", "auto", "cost", "item")
+
+_QUERIES = golden_queries()
+
+# Save each reference document once and mmap-open it back, so every
+# test in this module exercises the actual persistence path, not just
+# the in-memory column build.
+_TMP = tempfile.TemporaryDirectory(prefix="repro-columnar-diff-")
+atexit.register(_TMP.cleanup)
+
+_OBJECT_ENGINES = reference_engines()
+_COLUMNAR_ENGINES = {}
+for _name, _engine in _OBJECT_ENGINES.items():
+    _path = os.path.join(_TMP.name, f"{_name}.rpxc")
+    _engine.document.save(_path)
+    _COLUMNAR_ENGINES[_name] = Engine(IndexedDocument.open(_path))
+
+
+def _assert_columnar_matches(name, query):
+    reference = render_results(
+        _OBJECT_ENGINES[name].run(query, strategy="nljoin",
+                                  optimize=False))
+    columnar = _COLUMNAR_ENGINES[name]
+    for strategy in ALL_STRATEGIES:
+        got = render_results(columnar.run(query, strategy=strategy))
+        assert got == reference, (
+            f"columnar {strategy} diverged from the object store "
+            f"on {query!r} ({name})")
+
+
+class TestGoldenCorpusOnColumnar:
+    """Every strategy on the columnar store against the recorded
+    golden bytes (the object store is pinned to the same files by
+    tests/integration/test_golden.py)."""
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("stem", sorted(_QUERIES))
+    def test_golden_bytes(self, stem, strategy):
+        name = stem.split("_", 1)[0]
+        expected = (GOLDEN_DIR / f"{stem}.xml").read_text(
+            encoding="utf-8")
+        got = render_results(
+            _COLUMNAR_ENGINES[name].run(_QUERIES[stem],
+                                        strategy=strategy))
+        assert got == expected, (
+            f"{stem} under {strategy} (columnar) drifted from the "
+            f"golden corpus")
+
+    def test_documents_opened_from_disk(self):
+        for engine in _COLUMNAR_ENGINES.values():
+            assert engine.document.store_kind == "columnar"
+
+
+@given(query=qgen.member_queries())
+@settings(max_examples=120, deadline=None, derandomize=True)
+def test_member_fuzz_columnar_differential(query):
+    _assert_columnar_matches("member", query)
+
+
+@given(query=qgen.xmark_queries())
+@settings(max_examples=100, deadline=None, derandomize=True)
+def test_xmark_fuzz_columnar_differential(query):
+    _assert_columnar_matches("xmark", query)

@@ -1,0 +1,251 @@
+"""Columnar persistence: save → mmap-open round trips and corruption.
+
+Every corruption mode — truncation at any boundary, a foreign magic, a
+flipped payload byte, an unsupported version, the wrong byte order —
+must surface as a typed :class:`StorageError` (a ``ReproError`` with
+code ``REPRO-STORAGE`` naming the file), never a crash and never a
+silently wrong answer.
+"""
+
+import io
+import struct
+
+import pytest
+
+from repro import Engine
+from repro.guard import ReproError
+from repro.xmltree import (ColumnarDocument, IndexedDocument, StorageError,
+                           is_columnar_file, serialize)
+from repro.cli import main as cli_main
+from repro.data import member_document
+
+XML = ('<site lang="en"><people><person id="p1"><name>John</name>'
+       '<emailaddress>j@x.example</emailaddress></person>'
+       '<person id="p2"><name>Ada</name></person></people>'
+       '<regions><item ref="p1">text &amp; more</item></regions></site>')
+
+_INT_COLUMNS = ("post", "level", "end", "parent", "name_id", "text_id")
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    doc = IndexedDocument.from_string(XML, uri="memory://site")
+    path = tmp_path / "site.rpxc"
+    size = doc.save(path)
+    assert size == path.stat().st_size
+    return doc, path
+
+
+class TestRoundTrip:
+    def test_every_column_survives(self, saved):
+        doc, path = saved
+        reopened = ColumnarDocument.open(path)
+        original = doc.columns
+        for name in _INT_COLUMNS:
+            assert list(getattr(reopened, name)) == \
+                list(getattr(original, name)), name
+        assert list(reopened.kind) == list(original.kind)
+        assert list(reopened.names) == list(original.names)
+        assert list(reopened.texts) == list(original.texts)
+        assert {t: list(s) for t, s in reopened.tag_pres.items()} == \
+            {t: list(s) for t, s in original.tag_pres.items()}
+        assert {t: list(s) for t, s in
+                reopened.attribute_pres.items()} == \
+            {t: list(s) for t, s in original.attribute_pres.items()}
+        assert list(reopened.text_pres) == list(original.text_pres)
+        assert list(reopened.element_pres) == list(original.element_pres)
+        assert reopened.uri == "memory://site"
+        assert reopened.is_mapped
+        reopened.validate()
+        reopened.close()
+
+    def test_query_results_survive(self, saved):
+        doc, path = saved
+        reopened = IndexedDocument.open(path)
+        query = "$input//person[emailaddress]/name"
+        expected = [serialize(n) for n in Engine(doc).run(query)]
+        for strategy in ("nljoin", "twigjoin", "scjoin", "item"):
+            got = [serialize(n) for n in Engine(reopened).run(
+                query, strategy=strategy)]
+            assert got == expected
+        assert serialize(reopened.root) == serialize(doc.root)
+
+    def test_open_without_verify(self, saved):
+        _, path = saved
+        reopened = ColumnarDocument.open(path, verify=False)
+        reopened.validate()
+        assert reopened.open_seconds >= 0.0
+        reopened.close()
+
+    def test_is_columnar_file(self, saved, tmp_path):
+        _, path = saved
+        assert is_columnar_file(path)
+        xml = tmp_path / "plain.xml"
+        xml.write_text(XML, encoding="utf-8")
+        assert not is_columnar_file(xml)
+        assert not is_columnar_file(tmp_path / "missing.rpxc")
+
+    def test_save_is_atomic(self, saved, tmp_path):
+        doc, path = saved
+        # Overwriting an existing file goes through a rename; no
+        # .tmp leftovers either way.
+        doc.save(path)
+        assert is_columnar_file(path)
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_close_is_idempotent(self, saved):
+        _, path = saved
+        reopened = ColumnarDocument.open(path)
+        reopened.close()
+        reopened.close()
+        assert not reopened.is_mapped
+
+
+def _expect_storage_error(path, *needles):
+    with pytest.raises(StorageError) as err:
+        ColumnarDocument.open(path)
+    assert isinstance(err.value, ReproError)
+    assert err.value.code == "REPRO-STORAGE"
+    message = str(err.value)
+    assert path.name in message
+    for needle in needles:
+        assert needle in message, (needle, message)
+
+
+class TestCorruption:
+    def test_truncation_at_many_boundaries(self, saved):
+        _, path = saved
+        data = path.read_bytes()
+        for keep in (0, 3, 17, len(data) // 2, len(data) - 1):
+            path.write_bytes(data[:keep])
+            _expect_storage_error(path)
+
+    def test_bad_magic(self, saved):
+        _, path = saved
+        data = path.read_bytes()
+        path.write_bytes(b"NOPE" + data[4:])
+        _expect_storage_error(path, "magic")
+
+    def test_flipped_payload_byte_fails_checksum(self, saved):
+        _, path = saved
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF
+        path.write_bytes(bytes(data))
+        _expect_storage_error(path, "corrupt")
+
+    def test_unsupported_version(self, saved):
+        _, path = saved
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<H", data, 4, 99)
+        path.write_bytes(bytes(data))
+        _expect_storage_error(path, "version 99")
+
+    def test_foreign_byte_order(self, saved):
+        _, path = saved
+        data = bytearray(path.read_bytes())
+        # The endianness marker as the opposite byte order would see it.
+        data[6:8] = bytes(reversed(data[6:8]))
+        path.write_bytes(bytes(data))
+        _expect_storage_error(path, "byte order")
+
+    def test_appended_garbage_is_detected(self, saved):
+        _, path = saved
+        path.write_bytes(path.read_bytes() + b"trailing junk")
+        _expect_storage_error(path)
+
+    def test_not_a_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            ColumnarDocument.open(tmp_path / "missing.rpxc")
+
+    def test_xml_file_is_rejected_with_typed_error(self, tmp_path):
+        xml = tmp_path / "doc.xml"
+        xml.write_text("<a>" + "x" * 100 + "</a>", encoding="utf-8")
+        _expect_storage_error(xml, "magic")
+
+
+class TestEngineStoreSelection:
+    def test_from_file_auto_detects(self, saved, tmp_path):
+        doc, path = saved
+        xml = tmp_path / "site.xml"
+        xml.write_text(XML, encoding="utf-8")
+        query = "count($input//person)"
+        assert Engine.from_file(str(xml)).run(query) == [2]
+        engine = Engine.from_file(str(path))
+        assert engine.run(query) == [2]
+        assert engine.document.store_kind == "columnar"
+
+    def test_from_file_object_refuses_columnar(self, saved):
+        _, path = saved
+        with pytest.raises(ReproError) as err:
+            Engine.from_file(str(path), store="object")
+        assert "columnar" in str(err.value)
+
+    def test_from_file_unknown_store(self, saved):
+        _, path = saved
+        with pytest.raises(ReproError):
+            Engine.from_file(str(path), store="parquet")
+
+    def test_catalog_columnar_entry(self, saved):
+        from repro.serve import DocumentCatalog
+        _, path = saved
+        catalog = DocumentCatalog()
+        catalog.add_columnar_file("site", str(path))
+        catalog.add_file("auto", str(path))
+        for name in ("site", "auto"):
+            engine = catalog.engine(name)
+            assert engine.document.store_kind == "columnar"
+            assert engine.run("count($input//person)") == [2]
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = cli_main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCliIndex:
+    def test_index_verify_query_round_trip(self, tmp_path):
+        xml = tmp_path / "m.xml"
+        doc = member_document(150, depth=4, tag_count=4, seed=7)
+        xml.write_text(serialize(doc.root), encoding="utf-8")
+        rpxc = tmp_path / "m.rpxc"
+        code, output = run_cli("index", str(xml), "-o", str(rpxc),
+                               "--verify")
+        assert code == 0
+        assert "verified" in output and str(rpxc.name) in output
+        expected_code, expected = run_cli(
+            "query", "$input//t01/t02", "--doc", str(xml),
+            "--format", "xml")
+        got_code, got = run_cli(
+            "query", "$input//t01/t02", "--doc", str(rpxc),
+            "--store", "columnar", "--format", "xml")
+        assert expected_code == got_code == 0
+        assert got == expected
+
+    def test_index_default_output_name(self, tmp_path):
+        xml = tmp_path / "d.xml"
+        xml.write_text(XML, encoding="utf-8")
+        code, output = run_cli("index", str(xml))
+        assert code == 0
+        assert (tmp_path / "d.rpxc").exists()
+
+    def test_query_store_object_on_columnar_errors(self, tmp_path):
+        xml = tmp_path / "d.xml"
+        xml.write_text(XML, encoding="utf-8")
+        run_cli("index", str(xml))
+        code, _ = run_cli("query", "count($input//person)",
+                          "--doc", str(tmp_path / "d.rpxc"),
+                          "--store", "object")
+        assert code == 2
+
+    def test_query_corrupt_index_reports_typed_error(self, tmp_path):
+        xml = tmp_path / "d.xml"
+        xml.write_text(XML, encoding="utf-8")
+        run_cli("index", str(xml))
+        rpxc = tmp_path / "d.rpxc"
+        data = bytearray(rpxc.read_bytes())
+        data[-3] ^= 0x01
+        rpxc.write_bytes(bytes(data))
+        code, _ = run_cli("query", "count($input//person)",
+                          "--doc", str(rpxc))
+        assert code == 2

@@ -117,7 +117,7 @@ class TestEngineObservability:
         assert traced.cache_hit is False
         assert set(traced.pipeline.stages) == \
             {"parse", "normalize", "rewrite", "compile", "optimize",
-             "summary"}
+             "summary", "columnar"}
         assert traced.pipeline.total_seconds > 0.0
         assert traced.metrics.pattern_evals >= 1
         assert sum(traced.metrics.nodes_visited.values()) > 0
