@@ -1,4 +1,4 @@
-"""E8 — the serving layer under closed-loop load (docs/SERVING.md).
+"""E8/E11 — the serving layer under closed-loop load (docs/SERVING.md).
 
 Drives :class:`repro.serve.QueryService` with the seeded mixed QE1–QE6 +
 XMark workload at increasing client counts and reports throughput and
@@ -10,13 +10,21 @@ Closed-loop clients adapt their offered load to service capacity, so
 throughput should rise until the worker pool saturates (around
 ``clients ≈ workers`` on a GIL-bound interpreter, where extra clients
 only add queueing latency).
+
+**E11** (:func:`generate_chaos_table`, docs/ROBUSTNESS.md) re-runs the
+same load with a fault injected at ``serve.execute`` at increasing
+rates, with retries and the per-document circuit breaker toggled, and
+reports availability.  Invariants checked per cell: zero bare
+(non-:class:`~repro.guard.ReproError`) failures and zero mismatches —
+every success is byte-identical to the fault-free baseline.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.serve import LoadReport, QueryService, default_catalog, run_load
+from repro.serve import (ChaosCell, LoadReport, QueryService,
+                         default_catalog, run_chaos_sweep, run_load)
 
 CLIENT_LEVELS = (1, 2, 4, 8, 16)
 WORKERS = 4
@@ -70,5 +78,50 @@ def generate_table() -> str:
     return render_reports(run_levels())
 
 
+CHAOS_RATES = (0.0, 0.01, 0.05, 0.10)
+CHAOS_REQUESTS_PER_CLIENT = 20
+
+
+def run_chaos_grid(rates: Sequence[float] = CHAOS_RATES,
+                   requests_per_client: int = CHAOS_REQUESTS_PER_CLIENT,
+                   seed: int = SEED) -> List[ChaosCell]:
+    cells = run_chaos_sweep(rates=rates,
+                            requests_per_client=requests_per_client,
+                            seed=seed)
+    for cell in cells:
+        report = cell.report
+        if report.mismatches or report.bare_errors:
+            raise AssertionError(
+                f"chaos cell rate={cell.rate} retry={cell.retry} "
+                f"breaker={cell.breaker} broke the resilience contract: "
+                f"{report.mismatches} mismatches / "
+                f"{report.bare_errors} bare errors:\n{report.report()}")
+    return cells
+
+
+def render_chaos_cells(cells: Sequence[ChaosCell]) -> str:
+    header = (f"{'rate %':>7}{'retry':>7}{'breaker':>9}"
+              f"{'avail %':>9}{'retried':>9}{'errors':>8}"
+              f"{'breaker_rej':>13}{'mismatch':>10}")
+    lines = [f"fault: raise at serve.execute, "
+             f"{CHAOS_REQUESTS_PER_CLIENT} requests/client, seed {SEED}",
+             header]
+    for cell in cells:
+        row = cell.row()
+        lines.append(
+            f"{row['rate_pct']:>7.1f}{row['retry']:>7}"
+            f"{row['breaker']:>9}{row['availability_pct']:>9.2f}"
+            f"{row['retried']:>9}{row['errors']:>8}"
+            f"{cell.report.stats.breaker_rejected:>13}"
+            f"{row['mismatches']:>10}")
+    return "\n".join(lines)
+
+
+def generate_chaos_table() -> str:
+    return render_chaos_cells(run_chaos_grid())
+
+
 if __name__ == "__main__":
     print(generate_table())
+    print()
+    print(generate_chaos_table())

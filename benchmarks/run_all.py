@@ -48,6 +48,8 @@ def main() -> int:
          bench_trace.generate_table),
         ("Columnar store (docs/STORAGE.md, E10)",
          bench_columnar.generate_table),
+        ("Resilience under chaos (docs/ROBUSTNESS.md, E11)",
+         bench_serve.generate_chaos_table),
     ]
     for title, generate in sections:
         start = time.perf_counter()

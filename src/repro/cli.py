@@ -169,6 +169,35 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write the flight recorder's retained "
                                   "traces (K slowest + most recent) as "
                                   "Chrome trace JSON (implies --trace)")
+    serve_bench.add_argument("--chaos-rate", type=float, default=0.0,
+                             metavar="RATE",
+                             help="inject faults at --chaos-site at this "
+                                  "rate while the load runs (0 disables; "
+                                  "see docs/ROBUSTNESS.md)")
+    serve_bench.add_argument("--chaos-site", default="serve.execute",
+                             metavar="SITE",
+                             help="chaos site to fault (default: "
+                                  "serve.execute)")
+    serve_bench.add_argument("--chaos-action", default="raise",
+                             choices=["raise", "delay"],
+                             help="fault action (default: raise)")
+    serve_bench.add_argument("--chaos-delay", type=float, default=0.005,
+                             metavar="SECONDS",
+                             help="delay per fired 'delay' action "
+                                  "(default: 0.005)")
+    serve_bench.add_argument("--retry", default=True,
+                             action=argparse.BooleanOptionalAction,
+                             help="retry failed attempts with backoff "
+                                  "and strategy fallback (default: on)")
+    serve_bench.add_argument("--breaker", default=True,
+                             action=argparse.BooleanOptionalAction,
+                             help="per-document circuit breaker "
+                                  "(default: on)")
+    serve_bench.add_argument("--min-availability", type=float,
+                             default=0.99, metavar="FRACTION",
+                             help="with --check and --chaos-rate > 0, "
+                                  "fail below this success fraction "
+                                  "(default: 0.99)")
 
     index = commands.add_parser(
         "index",
@@ -339,7 +368,10 @@ def _command_visualize(args, out) -> int:
 
 
 def _command_serve_bench(args, out) -> int:
-    from .serve import QueryService, default_catalog, run_load
+    from .guard import ChaosSpec, inject
+    from .serve import (BreakerPolicy, QueryService, RetryPolicy,
+                        default_catalog, mixed_workload, run_load,
+                        sequential_baseline)
     from .trace import (FlightRecorder, Tracer, write_chrome_trace,
                         write_prometheus)
     from .trace.recorder import DEFAULT_RECENT
@@ -355,17 +387,45 @@ def _command_serve_bench(args, out) -> int:
             # to the whole (bounded) bench workload.
             recent = max(recent, args.concurrency * args.requests)
         flight = FlightRecorder(recent=recent)
-    service = QueryService(default_catalog(seed=args.seed),
-                           workers=args.workers,
-                           queue_limit=args.queue_limit,
-                           tracer=tracer, flight_recorder=flight)
+    service = QueryService(
+        default_catalog(seed=args.seed),
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tracer=tracer, flight_recorder=flight,
+        retry_policy=RetryPolicy() if args.retry else None,
+        breaker_policy=BreakerPolicy() if args.breaker else None)
     try:
-        report = run_load(service, concurrency=args.concurrency,
-                          requests_per_client=args.requests,
-                          seed=args.seed, timeout=args.timeout)
+        workload = mixed_workload(args.seed)
+        # Baseline before any chaos: successes under injection must
+        # still match fault-free answers byte for byte.
+        expected = sequential_baseline(service, workload)
+        if args.chaos_rate > 0:
+            spec = ChaosSpec(site=args.chaos_site,
+                             action=args.chaos_action,
+                             rate=args.chaos_rate,
+                             delay_seconds=args.chaos_delay)
+            with inject(spec):
+                report = run_load(service, workload,
+                                  concurrency=args.concurrency,
+                                  requests_per_client=args.requests,
+                                  seed=args.seed, timeout=args.timeout,
+                                  expected=expected)
+        else:
+            report = run_load(service, workload,
+                              concurrency=args.concurrency,
+                              requests_per_client=args.requests,
+                              seed=args.seed, timeout=args.timeout,
+                              expected=expected)
+        health = service.health()
     finally:
         service.close()
     print(report.report(), file=out)
+    if args.chaos_rate > 0:
+        print(f"chaos      : site={args.chaos_site} "
+              f"action={args.chaos_action} rate={args.chaos_rate} "
+              f"retry={'on' if args.retry else 'off'} "
+              f"breaker={'on' if args.breaker else 'off'}", file=out)
+        print(f"health     : {health.status}", file=out)
     snapshot = service.flight_recorder()
     if snapshot is not None:
         print(f"tracing    : {snapshot.recorded} request traces "
@@ -385,10 +445,23 @@ def _command_serve_bench(args, out) -> int:
         write_prometheus(args.prom_out, metrics=service.metrics,
                          tracer=tracer)
         print(f"wrote Prometheus metrics to {args.prom_out}", file=out)
-    if args.check and (report.mismatches or report.errors or report.shed):
-        print(f"check FAILED: mismatches={report.mismatches} "
-              f"errors={report.errors} shed={report.shed}", file=out)
-        return 1
+    if args.check:
+        if args.chaos_rate > 0:
+            # Under chaos, errors are expected — what must hold is the
+            # resilience contract: typed failures only, byte-identical
+            # successes, availability above the floor.
+            failed = (report.mismatches or report.bare_errors
+                      or report.availability < args.min_availability)
+            if failed:
+                print(f"check FAILED: mismatches={report.mismatches} "
+                      f"bare_errors={report.bare_errors} "
+                      f"availability={report.availability:.4f} "
+                      f"(floor {args.min_availability})", file=out)
+                return 1
+        elif report.mismatches or report.errors or report.shed:
+            print(f"check FAILED: mismatches={report.mismatches} "
+                  f"errors={report.errors} shed={report.shed}", file=out)
+            return 1
     return 0
 
 

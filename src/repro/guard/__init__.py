@@ -22,14 +22,16 @@ with ``strict=True`` re-raising instead.  See ``docs/ROBUSTNESS.md``.
 
 from .chaos import (ChaosInjector, ChaosSpec, InjectedFault, KNOWN_SITES,
                     active_injector, chaos_point, default_seed, inject)
-from .errors import (AlgorithmError, FallbackEvent, InputError, ReproError,
+from .errors import (AlgorithmError, CircuitOpen, DocumentQuarantined,
+                     FallbackEvent, InputError, InternalError, ReproError,
                      ServiceClosed, ServiceOverloaded, SourceSpan)
 from .governor import BudgetExceeded, Budgets, ResourceGovernor
 
 __all__ = [
     "AlgorithmError", "BudgetExceeded", "Budgets", "ChaosInjector",
-    "ChaosSpec", "FallbackEvent", "InjectedFault", "InputError",
-    "KNOWN_SITES", "ReproError", "ResourceGovernor", "ServiceClosed",
+    "ChaosSpec", "CircuitOpen", "DocumentQuarantined", "FallbackEvent",
+    "InjectedFault", "InputError", "InternalError", "KNOWN_SITES",
+    "ReproError", "ResourceGovernor", "ServiceClosed",
     "ServiceOverloaded", "SourceSpan",
     "active_injector", "chaos_point", "default_seed", "inject",
 ]

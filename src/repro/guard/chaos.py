@@ -47,7 +47,11 @@ from .errors import InputError, ReproError
 __all__ = ["ChaosInjector", "ChaosSpec", "InjectedFault", "KNOWN_SITES",
            "active_injector", "chaos_point", "default_seed", "inject"]
 
-#: every chaos point wired into the stack.
+#: every chaos point wired into the stack.  The first block sits inside
+#: the physical operators; the second covers the serving and storage
+#: layers (queue admission, leader execution, coalesce follower wake,
+#: catalog open, columnar mmap read and checksum verify — see
+#: ``tests/chaos/test_chaos_serve.py``).
 KNOWN_SITES = (
     "eval.ttp",
     "nljoin.match", "nljoin.enumerate",
@@ -57,6 +61,9 @@ KNOWN_SITES = (
     "streaming.match",
     "auto.choose",
     "cost.choose",
+    "serve.admit", "serve.execute", "serve.wake",
+    "catalog.open",
+    "columnar.read", "columnar.checksum",
 )
 
 _ACTIONS = ("raise", "delay", "corrupt")

@@ -30,7 +30,8 @@ from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, Optional
 
 __all__ = [
-    "AlgorithmError", "FallbackEvent", "InputError", "ReproError",
+    "AlgorithmError", "CircuitOpen", "DocumentQuarantined",
+    "FallbackEvent", "InputError", "InternalError", "ReproError",
     "ServiceClosed", "ServiceOverloaded", "SourceSpan",
 ]
 
@@ -174,6 +175,56 @@ class ServiceClosed(ReproError):
     down (or is shutting down)."""
 
     code = "REPRO-SERVICE-CLOSED"
+
+
+class CircuitOpen(ReproError):
+    """A request was rejected because the target document's circuit
+    breaker is open (see :mod:`repro.serve.resilience`).
+
+    The breaker opens when the document's recent failure rate crosses
+    its threshold; it rejects immediately — without queueing or burning
+    a worker — until the cooldown elapses and a half-open probe
+    succeeds.  ``retry_after_seconds`` is the remaining cooldown, a
+    client backoff hint."""
+
+    code = "REPRO-CIRCUIT-OPEN"
+
+    def __init__(self, message: str, *, document: str = "?",
+                 retry_after_seconds: float = 0.0, **context: Any) -> None:
+        super().__init__(message, document=document,
+                         retry_after_seconds=retry_after_seconds, **context)
+        self.document = document
+        self.retry_after_seconds = retry_after_seconds
+
+
+class DocumentQuarantined(ReproError):
+    """A catalog document is quarantined after a storage failure.
+
+    :class:`~repro.serve.DocumentCatalog` moves a document here when
+    loading it raised a storage error (corrupt index file, bad
+    checksum, unreadable path) and no rebuild source was available; the
+    registration slot is freed so the operator can fix the file and
+    re-register under the same name."""
+
+    code = "REPRO-STORAGE-QUARANTINED"
+
+    def __init__(self, message: str, *, document: str = "?",
+                 path: Any = None, **context: Any) -> None:
+        super().__init__(message, document=document, path=path, **context)
+        self.document = document
+        self.path = path
+
+
+class InternalError(ReproError):
+    """An unexpected non-:class:`ReproError` exception crossed the
+    service boundary.
+
+    The serving layer guarantees callers only ever see typed errors:
+    anything a worker raises that is not already part of the taxonomy
+    is wrapped here (original exception as ``__cause__``) instead of
+    leaking a bare exception — or worse, hanging the caller."""
+
+    code = "REPRO-INTERNAL"
 
 
 @dataclass(frozen=True)

@@ -18,20 +18,37 @@ XQuery engine.  This package supplies that engine-around-the-engine:
   coalesce counts and a constant-memory latency histogram (p50/p95/p99);
 * :mod:`repro.serve.loadgen` — a seeded closed-loop load generator that
   doubles as a concurrency differential test (``python -m repro
-  serve-bench``).
+  serve-bench``), plus the chaos availability sweep (EXPERIMENTS E11);
+* :mod:`repro.serve.resilience` — per-request retries with backoff
+  (:class:`RetryPolicy`), per-document circuit breakers
+  (:class:`BreakerPolicy` / :class:`CircuitBreaker`), health tracking
+  (:class:`HealthTracker`, ``QueryService.health()``) and the
+  degraded-mode emptiness prover; the catalog quarantines documents
+  whose load hits a storage failure (:class:`QuarantineRecord`).
 
-See ``docs/SERVING.md`` for the architecture and tuning knobs.
+See ``docs/SERVING.md`` for the architecture and tuning knobs and
+``docs/ROBUSTNESS.md`` for the failure-handling contract.
 """
 
-from .catalog import DocumentCatalog
-from .loadgen import (LoadReport, default_catalog, mixed_workload,
-                      run_load)
+from ..guard import CircuitOpen, DocumentQuarantined, ServiceClosed, \
+    ServiceOverloaded
+from .catalog import DocumentCatalog, QuarantineRecord
+from .loadgen import (ChaosCell, LoadReport, default_catalog,
+                      mixed_workload, run_chaos_cell, run_chaos_sweep,
+                      run_load, sequential_baseline)
 from .metrics import LatencyHistogram, ServiceMetrics, ServiceStats
+from .resilience import (BreakerPolicy, CircuitBreaker, DocumentHealth,
+                         HealthTracker, RetryPolicy, ServiceHealth)
 from .service import (PendingQuery, QueryRequest, QueryResponse,
                       QueryService)
 
 __all__ = [
-    "DocumentCatalog", "LatencyHistogram", "LoadReport", "PendingQuery",
-    "QueryRequest", "QueryResponse", "QueryService", "ServiceMetrics",
-    "ServiceStats", "default_catalog", "mixed_workload", "run_load",
+    "BreakerPolicy", "ChaosCell", "CircuitBreaker", "CircuitOpen",
+    "DocumentCatalog", "DocumentHealth", "DocumentQuarantined",
+    "HealthTracker", "LatencyHistogram", "LoadReport", "PendingQuery",
+    "QuarantineRecord", "QueryRequest", "QueryResponse", "QueryService",
+    "RetryPolicy", "ServiceClosed", "ServiceHealth", "ServiceMetrics",
+    "ServiceOverloaded", "ServiceStats", "default_catalog", "mixed_workload",
+    "run_chaos_cell", "run_chaos_sweep", "run_load",
+    "sequential_baseline",
 ]

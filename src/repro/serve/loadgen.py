@@ -14,6 +14,16 @@ and :class:`LoadReport` carries the count for CI to fail on
 
 Determinism: the request *schedule* is seeded per client; wall-clock
 latencies of course vary run to run, result sets never do.
+
+The **chaos sweep** (:func:`run_chaos_sweep`, CLI ``serve-bench
+--chaos-rate``, EXPERIMENTS E11) re-runs the same closed loop with a
+fault injected at a serve-layer chaos site at increasing rates, with
+retries and the per-document circuit breaker toggled on and off, and
+measures *availability* — the fraction of requests answered
+successfully — plus the two invariants the resilience layer
+guarantees: every failure carries a typed
+:class:`~repro.guard.ReproError` code, and every success is
+byte-identical to the no-chaos sequential baseline.
 """
 
 from __future__ import annotations
@@ -22,17 +32,20 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bench.harness import QE_QUERIES, scaled
 from ..bench.xmark_queries import XMARK_CATALOG
 from ..data import member_document, xmark_document
-from ..guard import ReproError, ServiceOverloaded
+from ..guard import ChaosSpec, ReproError, ServiceOverloaded, inject
 from .catalog import DocumentCatalog
 from .metrics import ServiceStats
+from .resilience import BreakerPolicy, RetryPolicy
 from .service import QueryRequest, QueryService
 
-__all__ = ["LoadReport", "default_catalog", "mixed_workload", "run_load"]
+__all__ = ["ChaosCell", "LoadReport", "default_catalog", "mixed_workload",
+           "run_chaos_cell", "run_chaos_sweep", "run_load",
+           "sequential_baseline"]
 
 #: XMark catalog entries in the default mix (construction-free,
 #: non-positional, cheap enough for a load loop).
@@ -95,11 +108,20 @@ class LoadReport:
     stats: ServiceStats
     #: error strings of non-shed failures, bounded (first 8).
     error_samples: List[str] = field(default_factory=list)
+    #: failures that were NOT typed :class:`ReproError`\ s — the
+    #: resilience layer's contract is that this stays zero even under
+    #: chaos (see ``docs/ROBUSTNESS.md``).
+    bare_errors: int = 0
 
     @property
     def throughput(self) -> float:
         return self.succeeded / self.wall_seconds \
             if self.wall_seconds > 0 else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of attempted requests answered successfully."""
+        return self.succeeded / self.attempted if self.attempted else 1.0
 
     def row(self) -> Dict[str, float]:
         """One table row for the benchmark renderer."""
@@ -119,7 +141,9 @@ class LoadReport:
             f"{self.workers} workers",
             f"requests   : attempted={self.attempted} "
             f"succeeded={self.succeeded} shed={self.shed} "
-            f"errors={self.errors} mismatches={self.mismatches}",
+            f"errors={self.errors} (bare={self.bare_errors}) "
+            f"mismatches={self.mismatches} "
+            f"availability={self.availability:.4f}",
             f"throughput : {self.throughput:.1f} qps "
             f"({self.wall_seconds:.2f} s wall)",
         ]
@@ -129,24 +153,11 @@ class LoadReport:
         return "\n".join(lines)
 
 
-def run_load(service: QueryService,
-             workload: Optional[List[QueryRequest]] = None,
-             concurrency: int = 8,
-             requests_per_client: int = 25,
-             seed: int = 1,
-             timeout: Optional[float] = None,
-             coalesce_burst: int = 4) -> LoadReport:
-    """Run the closed loop and return a verified :class:`LoadReport`.
-
-    ``timeout`` attaches a per-request deadline; ``coalesce_burst``
-    submits that many back-to-back duplicates of the first workload
-    entry before the clients start, exercising the coalescing path
-    deterministically (0 disables).
-    """
-    workload = workload if workload is not None else mixed_workload(seed)
-    if not workload:
-        raise ValueError("workload must contain at least one request")
-    # Sequential baseline on the same engines, before any concurrency.
+def sequential_baseline(service: QueryService,
+                        workload: List[QueryRequest]) -> Dict[Tuple, Tuple]:
+    """Result keys for every workload entry, computed sequentially on
+    the service's own engines.  Run this *before* enabling chaos so the
+    baseline reflects fault-free answers."""
     expected: Dict[Tuple, Tuple] = {}
     for request in workload:
         engine = service.catalog.engine(request.document)
@@ -154,15 +165,43 @@ def run_load(service: QueryService,
         results = engine.execute(compiled, strategy=request.strategy,
                                  optimized=request.optimize)
         expected[request.coalesce_key()] = _result_key(results)
+    return expected
+
+
+def run_load(service: QueryService,
+             workload: Optional[List[QueryRequest]] = None,
+             concurrency: int = 8,
+             requests_per_client: int = 25,
+             seed: int = 1,
+             timeout: Optional[float] = None,
+             coalesce_burst: int = 4,
+             expected: Optional[Dict[Tuple, Tuple]] = None) -> LoadReport:
+    """Run the closed loop and return a verified :class:`LoadReport`.
+
+    ``timeout`` attaches a per-request deadline; ``coalesce_burst``
+    submits that many back-to-back duplicates of the first workload
+    entry before the clients start, exercising the coalescing path
+    deterministically (0 disables).  ``expected`` supplies a
+    precomputed :func:`sequential_baseline` (the chaos sweep computes
+    it once, outside the fault injection context).
+    """
+    workload = workload if workload is not None else mixed_workload(seed)
+    if not workload:
+        raise ValueError("workload must contain at least one request")
+    if expected is None:
+        # Sequential baseline on the same engines, before any concurrency.
+        expected = sequential_baseline(service, workload)
 
     lock = threading.Lock()
     totals = {"attempted": 0, "succeeded": 0, "shed": 0, "errors": 0,
-              "mismatches": 0}
+              "mismatches": 0, "bare_errors": 0}
     error_samples: List[str] = []
 
-    def record_error(err: Exception) -> None:
+    def record_error(err: Exception, bare: bool = False) -> None:
         with lock:
             totals["errors"] += 1
+            if bare:
+                totals["bare_errors"] += 1
             if len(error_samples) < 8:
                 error_samples.append(f"{type(err).__name__}: {err}")
 
@@ -193,6 +232,9 @@ def run_load(service: QueryService,
             except ReproError as err:
                 record_error(err)
                 continue
+            except Exception as err:  # the contract says this can't happen
+                record_error(err, bare=True)
+                continue
             check(request, results)
 
     start = time.perf_counter()
@@ -210,6 +252,8 @@ def run_load(service: QueryService,
                 check(workload[0], pending.result())
             except ReproError as err:
                 record_error(err)
+            except Exception as err:
+                record_error(err, bare=True)
     threads = [threading.Thread(target=client, args=(index,),
                                 name=f"loadgen-{index}")
                for index in range(concurrency)]
@@ -228,4 +272,100 @@ def run_load(service: QueryService,
                       mismatches=totals["mismatches"],
                       coalesced=stats.coalesced,
                       wall_seconds=wall, stats=stats,
-                      error_samples=error_samples)
+                      error_samples=error_samples,
+                      bare_errors=totals["bare_errors"])
+
+
+# -- chaos sweep (EXPERIMENTS E11) ------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One cell of the availability grid: a chaos configuration plus
+    the :class:`LoadReport` observed under it."""
+
+    rate: float
+    retry: bool
+    breaker: bool
+    site: str
+    action: str
+    report: LoadReport
+
+    def row(self) -> Dict[str, object]:
+        report = self.report
+        return {
+            "rate_pct": self.rate * 100.0,
+            "retry": "on" if self.retry else "off",
+            "breaker": "on" if self.breaker else "off",
+            "availability_pct": report.availability * 100.0,
+            "retried": report.stats.retried,
+            "errors": report.errors,
+            "bare": report.bare_errors,
+            "mismatches": report.mismatches,
+        }
+
+
+def run_chaos_cell(rate: float,
+                   retry: bool = True,
+                   breaker: bool = True,
+                   site: str = "serve.execute",
+                   action: str = "raise",
+                   delay_seconds: float = 0.005,
+                   workers: int = 4,
+                   concurrency: int = 8,
+                   requests_per_client: int = 25,
+                   seed: int = 1,
+                   chaos_seed: Optional[int] = None,
+                   catalog: Optional[DocumentCatalog] = None) -> ChaosCell:
+    """Run one chaos cell: a fresh service over ``catalog`` (or the
+    default one), the standard mixed workload, and a fault injected at
+    ``site`` at ``rate`` while the load runs.
+
+    The sequential baseline is computed *before* injection starts so
+    successes are compared against fault-free answers.
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    service = QueryService(
+        catalog, workers=workers,
+        retry_policy=RetryPolicy() if retry else None,
+        breaker_policy=BreakerPolicy() if breaker else None)
+    try:
+        workload = mixed_workload(seed)
+        expected = sequential_baseline(service, workload)
+        spec = ChaosSpec(site=site, action=action, rate=rate,
+                         delay_seconds=delay_seconds)
+        if rate > 0:
+            with inject(spec, seed=chaos_seed):
+                report = run_load(service, workload,
+                                  concurrency=concurrency,
+                                  requests_per_client=requests_per_client,
+                                  seed=seed, expected=expected)
+        else:
+            report = run_load(service, workload, concurrency=concurrency,
+                              requests_per_client=requests_per_client,
+                              seed=seed, expected=expected)
+        return ChaosCell(rate=rate, retry=retry, breaker=breaker,
+                         site=site, action=action, report=report)
+    finally:
+        service.close()
+
+
+def run_chaos_sweep(rates: Sequence[float] = (0.0, 0.01, 0.05, 0.10),
+                    site: str = "serve.execute",
+                    action: str = "raise",
+                    requests_per_client: int = 25,
+                    seed: int = 1,
+                    chaos_seed: Optional[int] = None) -> List[ChaosCell]:
+    """The E11 grid: ``rates`` × retry on/off × breaker on/off.
+
+    Rate 0.0 runs once per resilience configuration as the control
+    row (availability 1.0, zero retries expected)."""
+    cells: List[ChaosCell] = []
+    for rate in rates:
+        for retry, breaker in ((True, True), (True, False),
+                               (False, True), (False, False)):
+            cells.append(run_chaos_cell(
+                rate, retry=retry, breaker=breaker, site=site,
+                action=action, requests_per_client=requests_per_client,
+                seed=seed, chaos_seed=chaos_seed))
+    return cells

@@ -123,6 +123,9 @@ class ServiceStats:
     shed: int
     coalesced: int
     deadline_expired: int
+    retried: int
+    breaker_rejected: int
+    degraded: int
     queue_depth: int
     in_flight: int
     uptime_seconds: float
@@ -141,6 +144,9 @@ class ServiceStats:
             "completed": self.completed, "failed": self.failed,
             "shed": self.shed, "coalesced": self.coalesced,
             "deadline_expired": self.deadline_expired,
+            "retried": self.retried,
+            "breaker_rejected": self.breaker_rejected,
+            "degraded": self.degraded,
             "queue_depth": self.queue_depth, "in_flight": self.in_flight,
             "uptime_seconds": self.uptime_seconds, "qps": self.qps,
             "latency": {
@@ -158,6 +164,9 @@ class ServiceStats:
             f"failed={self.failed}",
             f"backpressure: shed={self.shed} coalesced={self.coalesced} "
             f"deadline_expired={self.deadline_expired}",
+            f"resilience : retried={self.retried} "
+            f"breaker_rejected={self.breaker_rejected} "
+            f"degraded={self.degraded}",
             f"queue      : depth={self.queue_depth} "
             f"in_flight={self.in_flight} "
             f"wait_p95={self.queue_wait_p95 * 1e3:.3f} ms",
@@ -193,6 +202,9 @@ class ServiceMetrics:
         self.shed = 0
         self.coalesced = 0
         self.deadline_expired = 0
+        self.retried = 0
+        self.breaker_rejected = 0
+        self.degraded = 0
         self.latency = LatencyHistogram()
         self.queue_wait = LatencyHistogram()
 
@@ -213,6 +225,21 @@ class ServiceMetrics:
     def record_coalesced(self) -> None:
         with self._lock:
             self.coalesced += 1
+
+    def record_retried(self) -> None:
+        """One retry attempt (a request retried twice counts 2)."""
+        with self._lock:
+            self.retried += 1
+
+    def record_breaker_rejected(self) -> None:
+        """One request rejected at admission by an open circuit."""
+        with self._lock:
+            self.breaker_rejected += 1
+
+    def record_degraded(self) -> None:
+        """One provably-empty answer served while circuit-open."""
+        with self._lock:
+            self.degraded += 1
 
     def record_done(self, latency_seconds: float, queue_seconds: float,
                     failed: bool, deadline_expired: bool = False) -> None:
@@ -248,6 +275,9 @@ class ServiceMetrics:
                 completed=self.completed, failed=self.failed,
                 shed=self.shed, coalesced=self.coalesced,
                 deadline_expired=self.deadline_expired,
+                retried=self.retried,
+                breaker_rejected=self.breaker_rejected,
+                degraded=self.degraded,
                 queue_depth=queue_depth, in_flight=in_flight,
                 uptime_seconds=uptime,
                 qps=self.completed / uptime,

@@ -24,23 +24,50 @@ immutable engines (the plan cache and summary builds are internally
 locked, see PR notes in :mod:`repro.obs` / :mod:`repro.xmltree.
 document`), so a response is byte-identical to a sequential
 ``engine.run()`` of the same request.
+
+On top sits the **resilience layer** (:mod:`repro.serve.resilience`,
+``docs/ROBUSTNESS.md``): with a :class:`~repro.serve.RetryPolicy`
+failed attempts retry with deadline-aware exponential backoff (stepping
+to the next fallback strategy on deterministic errors); with a
+:class:`~repro.serve.BreakerPolicy` each document gets a circuit
+breaker that sheds requests at admission with a typed
+:class:`~repro.guard.CircuitOpen` once the document's failure rate
+trips it — and, while open, queries the structural summary *proves*
+empty are still answered (``QueryResponse.degraded``).  Every caller
+always sees either a correct result or a typed
+:class:`~repro.guard.ReproError` — never a bare exception, never a
+hang: unexpected worker exceptions are wrapped in
+:class:`~repro.guard.InternalError` and :meth:`QueryService.close`
+sweeps abandoned executions to :class:`~repro.guard.ServiceClosed`.
 """
 
 from __future__ import annotations
 
 import queue as queue_module
+import random
 import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
-from ..guard import (Budgets, BudgetExceeded, ServiceClosed,
-                     ServiceOverloaded)
+from ..guard import (AlgorithmError, Budgets, BudgetExceeded, CircuitOpen,
+                     InjectedFault, InternalError, ReproError,
+                     ServiceClosed, ServiceOverloaded, chaos_point)
 from ..trace import FlightRecorder, FlightSnapshot, Tracer
+from ..xmltree.columnar import StorageError
 from .catalog import DocumentCatalog
 from .metrics import ServiceMetrics, ServiceStats
+from .resilience import (BreakerPolicy, DocumentHealth, FATAL,
+                         HealthTracker, NEXT_STRATEGY, RetryPolicy,
+                         ServiceHealth, provably_empty)
 
 __all__ = ["QueryRequest", "QueryResponse", "PendingQuery", "QueryService"]
+
+#: errors that count against a document's health/breaker: the engine or
+#: its storage failed.  Caller errors (bad query, unknown strategy) and
+#: deadline trips say nothing about the document.
+_HEALTH_ERRORS = (AlgorithmError, InjectedFault, InternalError,
+                  StorageError)
 
 #: default admission-queue capacity (requests waiting for a worker).
 DEFAULT_QUEUE_LIMIT = 128
@@ -87,6 +114,12 @@ class QueryResponse:
     #: id of this request's span trace, when the service traces (and
     #: its sampler admitted this request); ``None`` otherwise.
     trace_id: Optional[str] = None
+    #: total execution attempts (1 = no retry was needed).
+    attempts: int = 1
+    #: True when this is a degraded-mode answer: the document's circuit
+    #: was open and the summary proved the result empty (the ``[]`` is
+    #: still byte-identical to a full evaluation).
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -142,6 +175,8 @@ class PendingQuery:
             raise TimeoutError(
                 f"query {self.request.query!r} still pending after "
                 f"{timeout} s")
+        if self.coalesced:
+            chaos_point("serve.wake")
         assert self._execution.response is not None
         return self._execution.response
 
@@ -179,7 +214,11 @@ class QueryService:
                  default_budgets: Optional[Budgets] = None,
                  clock=time.perf_counter,
                  tracer: Optional[Tracer] = None,
-                 flight_recorder: Optional[FlightRecorder] = None) -> None:
+                 flight_recorder: Optional[FlightRecorder] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 breaker_policy: Optional[BreakerPolicy] = None,
+                 degraded_mode: bool = True,
+                 retry_seed: int = 0) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_limit < 1:
@@ -188,6 +227,13 @@ class QueryService:
         self.queue_limit = queue_limit
         self.default_budgets = default_budgets
         self.metrics = ServiceMetrics(clock=clock)
+        self.retry_policy = retry_policy
+        self.breaker_policy = breaker_policy
+        #: with a breaker, serve provably-empty answers while open.
+        self.degraded_mode = degraded_mode
+        self.health_tracker = HealthTracker(breaker_policy=breaker_policy,
+                                            clock=clock)
+        self._retry_rng = random.Random(retry_seed)
         self.tracer = tracer
         if flight_recorder is None and tracer is not None:
             flight_recorder = FlightRecorder()
@@ -212,10 +258,37 @@ class QueryService:
         """Admit, coalesce or shed a request (never blocks).
 
         Raises :class:`~repro.guard.ServiceOverloaded` when the
-        admission queue is full and :class:`~repro.guard.ServiceClosed`
-        after :meth:`close`.
+        admission queue is full, :class:`~repro.guard.ServiceClosed`
+        after :meth:`close`, and :class:`~repro.guard.CircuitOpen` when
+        the document's breaker is open and the answer is not provably
+        empty (degraded mode, see :mod:`repro.serve.resilience`).
         """
         self.metrics.record_submitted()
+        chaos_point("serve.admit")
+        breaker = self.health_tracker.breaker(request.document) \
+            if self.breaker_policy is not None else None
+        if breaker is not None and not breaker.allow():
+            # Open circuit: shed at admission — no queue slot, no
+            # worker.  (A duplicate that could have coalesced is shed
+            # too; with the circuit open there is normally no leader to
+            # ride anyway.)
+            response = self._degraded_response(request)
+            if response is not None:
+                self.metrics.record_accepted()
+                self.metrics.record_degraded()
+                self.metrics.record_done(latency_seconds=0.0,
+                                         queue_seconds=0.0, failed=False)
+                execution = _Execution(request, self._clock(), None)
+                execution.response = response
+                execution.done.set()
+                return PendingQuery(execution, coalesced=False)
+            self.metrics.record_breaker_rejected()
+            retry_after = breaker.retry_after()
+            raise CircuitOpen(
+                f"document {request.document!r} circuit is open "
+                f"(retry in {retry_after:.2f} s)",
+                document=request.document,
+                retry_after_seconds=retry_after)
         key = request.coalesce_key()
         with self._admission_lock:
             if self._closed:
@@ -275,43 +348,21 @@ class QueryService:
         response = QueryResponse(request=execution.request,
                                  queue_seconds=queue_seconds)
         trace = None
-        if self.tracer is not None:
-            # The root span covers the whole request: it starts
-            # queue_seconds in the past *on the tracer's own clock* (the
-            # service clock may differ, e.g. a fake one under test), and
-            # the already-elapsed wait is recorded as a completed child.
-            trace = self.tracer.begin(
-                "request", start_offset=-queue_seconds,
-                document=execution.request.document,
-                query=execution.request.query,
-                strategy=execution.request.strategy or "default")
-            if trace is not None:
-                trace.add_span("queue", start=trace.root.start,
-                               duration=queue_seconds)
-                response.trace_id = trace.trace_id
         deadline_expired = False
         try:
-            request = execution.request
-            remaining = None
-            if execution.deadline is not None:
-                remaining = execution.deadline - started
-                if remaining <= 0:
-                    # The deadline lapsed while queued: charge the wait,
-                    # skip the execution entirely.
-                    deadline_expired = True
-                    raise BudgetExceeded(
-                        "wall", request.timeout or 0.0, queue_seconds,
-                        elapsed_seconds=queue_seconds)
-            engine = self.catalog.engine(request.document)
-            budgets = self._budgets_for(remaining)
-            compiled = engine.compile(request.query,
-                                      optimize=request.optimize,
-                                      tracing=trace)
-            response.results = engine.execute(
-                compiled, strategy=request.strategy,
-                optimized=request.optimize, budgets=budgets,
-                tracing=trace)
+            # Everything — including trace setup — runs inside this
+            # try: an exception anywhere before completion must become
+            # a typed response, never a dead worker with hanging
+            # waiters (the shutdown/coalesce regression).
+            trace = self._begin_trace(execution, queue_seconds, response)
+            self._attempt_loop(execution, response, started, trace)
         except Exception as err:  # typed errors travel to the waiters
+            if not isinstance(err, ReproError):
+                wrapped = InternalError(
+                    f"unexpected {type(err).__name__} while serving "
+                    f"{execution.request.query!r}: {err}")
+                wrapped.__cause__ = err
+                err = wrapped
             response.error = err
             if isinstance(err, BudgetExceeded) and err.kind == "wall":
                 deadline_expired = True
@@ -323,6 +374,12 @@ class QueryService:
                     del self._inflight[key]
                 self._in_flight_count -= 1
                 coalesced = execution.coalesced
+            if response.error is None and response.results is None:
+                # A BaseException (worker being killed) skipped both
+                # branches above: complete the execution typed rather
+                # than leave the waiters hanging.
+                response.error = InternalError(
+                    "execution aborted before completion")
             if trace is not None:
                 if response.error is not None:
                     trace.annotate(error=getattr(
@@ -341,6 +398,137 @@ class QueryService:
                 queue_seconds=queue_seconds,
                 failed=response.error is not None,
                 deadline_expired=deadline_expired)
+
+    def _begin_trace(self, execution: _Execution, queue_seconds: float,
+                     response: QueryResponse):
+        if self.tracer is None:
+            return None
+        # The root span covers the whole request: it starts
+        # queue_seconds in the past *on the tracer's own clock* (the
+        # service clock may differ, e.g. a fake one under test), and
+        # the already-elapsed wait is recorded as a completed child.
+        trace = self.tracer.begin(
+            "request", start_offset=-queue_seconds,
+            document=execution.request.document,
+            query=execution.request.query,
+            strategy=execution.request.strategy or "default")
+        if trace is not None:
+            trace.add_span("queue", start=trace.root.start,
+                           duration=queue_seconds)
+            response.trace_id = trace.trace_id
+        return trace
+
+    def _attempt_loop(self, execution: _Execution,
+                      response: QueryResponse, started: float,
+                      trace) -> None:
+        """Execute the request, retrying per :attr:`retry_policy`.
+
+        Transient faults retry on the same strategy, deterministic
+        engine failures step down the policy's strategy chain; no
+        retry ever starts when its backoff would cross the admission
+        deadline.  Attempt outcomes feed the document's health/breaker.
+        """
+        request = execution.request
+        remaining = None
+        if execution.deadline is not None:
+            remaining = execution.deadline - started
+            if remaining <= 0:
+                # The deadline lapsed while queued: charge the wait,
+                # skip the execution entirely.
+                raise BudgetExceeded(
+                    "wall", request.timeout or 0.0,
+                    response.queue_seconds,
+                    elapsed_seconds=response.queue_seconds)
+        policy = self.retry_policy
+        strategies: List[Optional[str]] = [request.strategy]
+        if policy is not None:
+            strategies = policy.attempt_strategies(request.strategy)
+        level = 0
+        attempt = 0
+        while True:
+            attempt += 1
+            response.attempts = attempt
+            try:
+                chaos_point("serve.execute")
+                engine = self.catalog.engine(request.document)
+                if execution.deadline is not None:
+                    remaining = execution.deadline - self._clock()
+                    if remaining <= 0:
+                        elapsed = self._clock() - execution.admitted
+                        raise BudgetExceeded(
+                            "wall", request.timeout or 0.0, elapsed,
+                            elapsed_seconds=elapsed)
+                budgets = self._budgets_for(remaining)
+                compiled = engine.compile(request.query,
+                                          optimize=request.optimize,
+                                          tracing=trace)
+                response.results = engine.execute(
+                    compiled, strategy=strategies[level],
+                    optimized=request.optimize, budgets=budgets,
+                    tracing=trace)
+            except Exception as err:
+                if not isinstance(err, ReproError):
+                    wrapped = InternalError(
+                        f"unexpected {type(err).__name__} while "
+                        f"serving {request.query!r}: {err}")
+                    wrapped.__cause__ = err
+                    err = wrapped
+                if isinstance(err, _HEALTH_ERRORS):
+                    self.health_tracker.record_failure(request.document,
+                                                       err)
+                backoff = self._retry_backoff(policy, err, attempt,
+                                              execution)
+                if backoff is None:
+                    raise err
+                if policy.classify(err) == NEXT_STRATEGY \
+                        and level + 1 < len(strategies):
+                    level += 1
+                self.metrics.record_retried()
+                if trace is not None:
+                    trace.event("retry", attempt=attempt,
+                                error_code=err.code,
+                                strategy=strategies[level] or "default",
+                                backoff_ms=round(backoff * 1e3, 3))
+                if backoff > 0:
+                    time.sleep(backoff)
+            else:
+                self.health_tracker.record_success(request.document)
+                return
+
+    def _retry_backoff(self, policy: Optional[RetryPolicy],
+                       err: Exception, attempt: int,
+                       execution: _Execution) -> Optional[float]:
+        """Backoff seconds before the next attempt, or ``None`` to give
+        up (no policy, attempts exhausted, fatal error, or the sleep
+        would cross the admission deadline)."""
+        if policy is None or attempt >= policy.max_attempts:
+            return None
+        if policy.classify(err) == FATAL:
+            return None
+        backoff = policy.delay(attempt, self._retry_rng)
+        if execution.deadline is not None and \
+                self._clock() + backoff >= execution.deadline:
+            return None
+        return backoff
+
+    def _degraded_response(self,
+                           request: QueryRequest) -> Optional[QueryResponse]:
+        """A provably-empty ``[]`` answer servable while the circuit is
+        open, or ``None`` when the summary cannot prove emptiness (the
+        engine must already be built — degraded mode never triggers the
+        possibly-poisoned load path)."""
+        if not self.degraded_mode:
+            return None
+        engine = self.catalog.engine_if_built(request.document)
+        if engine is None:
+            return None
+        try:
+            compiled = engine.compile(request.query, optimize=True)
+            if not provably_empty(compiled, engine):
+                return None
+        except Exception:
+            return None
+        return QueryResponse(request=request, results=[], degraded=True)
 
     def _budgets_for(self, remaining: Optional[float]) -> Optional[Budgets]:
         """The service defaults with the wall budget tightened to the
@@ -371,6 +559,34 @@ class QueryService:
             return None
         return self._flight.snapshot()
 
+    def health(self) -> ServiceHealth:
+        """Per-document health: outcome counters, breaker states, the
+        catalog's quarantined set, and whether each document can serve
+        degraded (provably-empty) answers while circuit-open."""
+        return self.health_tracker.snapshot(
+            quarantined=self.catalog.quarantined_names(),
+            degraded_capable=self._degraded_capable())
+
+    def probe(self, document: str) -> DocumentHealth:
+        """Run the health tracker's probe query against ``document``
+        and return its refreshed health.  A successful probe closes a
+        half-open breaker without waiting for real traffic."""
+        self.health_tracker.probe(
+            document, lambda: self.catalog.engine(document))
+        return self.health_tracker.document_health(
+            document,
+            degraded_capable=document in self._degraded_capable())
+
+    def _degraded_capable(self) -> set:
+        if not self.degraded_mode:
+            return set()
+        capable = set()
+        for name in self.catalog.names():
+            engine = self.catalog.engine_if_built(name)
+            if engine is not None and engine.use_summary:
+                capable.add(name)
+        return capable
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -398,8 +614,14 @@ class QueryService:
             self._queue.put(_SENTINEL)
         for thread in self._workers:
             thread.join()
-        if not drain:
-            self._fail_queued()
+        # Always sweep what the workers left behind: with drain=False,
+        # requests that slipped in between the first sweep and the
+        # sentinels; in either mode, anything a dead worker abandoned
+        # — queued executions it never picked up and in-flight ones it
+        # never completed (with their coalesced followers).  Waiters
+        # get a typed ServiceClosed instead of hanging forever.
+        self._fail_queued()
+        self._fail_abandoned()
 
     def _fail_queued(self) -> None:
         while True:
@@ -420,6 +642,25 @@ class QueryService:
             execution.done.set()
             self.metrics.record_done(latency_seconds=0.0, queue_seconds=0.0,
                                      failed=True)
+
+    def _fail_abandoned(self) -> None:
+        """Complete every never-finished in-flight execution with a
+        typed ServiceClosed (leaders a dead worker abandoned — and
+        with them every coalesced follower waiting on the same
+        event)."""
+        with self._admission_lock:
+            executions = list(self._inflight.values())
+            self._inflight.clear()
+        for execution in executions:
+            if execution.done.is_set():
+                continue
+            execution.response = QueryResponse(
+                request=execution.request,
+                error=ServiceClosed(
+                    "service closed before the execution completed"))
+            execution.done.set()
+            self.metrics.record_done(latency_seconds=0.0,
+                                     queue_seconds=0.0, failed=True)
 
     def __enter__(self) -> "QueryService":
         return self

@@ -48,6 +48,7 @@ import zlib
 from array import array
 from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..guard.chaos import InjectedFault, chaos_point
 from ..guard.errors import ReproError
 from .node import AttributeNode, DocumentNode, ElementNode, Node, TextNode
 from .nodetest import (AnyKindTest, ElementTest, NameTest, NodeTest,
@@ -503,6 +504,10 @@ class ColumnarDocument:
                 raise fail("truncated",
                            f"file is {size} bytes, smaller than the "
                            f"{_HEADER.size}-byte header")
+            # Chaos site for a failing mmap read: an injected fault is
+            # wrapped into the same typed StorageError a real one
+            # would produce (the quarantine path keys on it).
+            chaos_point("columnar.read")
             source = mmap.mmap(handle.fileno(), 0,
                                access=mmap.ACCESS_READ)
         except StorageError:
@@ -564,6 +569,15 @@ class ColumnarDocument:
             raise fail("sections",
                        f"missing sections: {', '.join(missing)}")
         base = table_end + _pad(table_end)
+        try:
+            # Chaos site for checksum verification; injected faults
+            # surface as the same typed StorageError a real CRC
+            # mismatch raises.
+            chaos_point("columnar.checksum")
+        except InjectedFault as injected:
+            raise fail("checksum",
+                       f"injected checksum fault: {injected.message}") \
+                from injected
         if verify and zlib.crc32(memoryview(source)[base:]) != crc:
             raise fail("checksum",
                        "payload CRC-32 mismatch — the file is corrupt; "

@@ -218,4 +218,5 @@ class TestChaos:
     def test_every_known_site_has_algorithm_prefix(self):
         prefixes = {site.split(".")[0] for site in KNOWN_SITES}
         assert prefixes == {"eval", "nljoin", "twigjoin", "scjoin",
-                            "stacktree", "streaming", "auto", "cost"}
+                            "stacktree", "streaming", "auto", "cost",
+                            "serve", "catalog", "columnar"}

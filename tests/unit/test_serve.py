@@ -558,3 +558,422 @@ class TestServeBenchCli:
         assert code == 0, text
         assert "mismatches=0" in text
         assert "latency" in text
+
+
+# -- retries (docs/ROBUSTNESS.md) ----------------------------------------------
+
+class FlakyEngine:
+    """Patches an engine's execute to fail the first ``failures`` calls."""
+
+    def __init__(self, engine: Engine, failures: int,
+                 error_factory=None) -> None:
+        from repro.guard import InjectedFault
+        self.calls = 0
+        self.strategies = []
+        self.error_factory = error_factory or \
+            (lambda: InjectedFault("transient", site="test"))
+        original = engine.execute
+
+        def flaky_execute(compiled, *args, **kwargs):
+            self.calls += 1
+            self.strategies.append(kwargs.get("strategy"))
+            if self.calls <= failures:
+                raise self.error_factory()
+            return original(compiled, *args, **kwargs)
+
+        engine.execute = flaky_execute
+
+
+def fast_retry(**overrides):
+    from repro.serve import RetryPolicy
+    defaults = dict(max_attempts=3, base_delay=0.0, max_delay=0.0,
+                    jitter=0.0)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+class TestRetries:
+    def test_transient_fault_retried_to_success(self):
+        catalog = site_catalog()
+        flaky = FlakyEngine(catalog.engine("site"), failures=2)
+        with QueryService(catalog, workers=1,
+                          retry_policy=fast_retry()) as service:
+            pending = service.submit(QueryRequest("site", QUERY))
+            response = pending.response(timeout=10)
+            assert response.ok
+            assert response.attempts == 3
+            assert [n.string_value() for n in response.results] == ["John"]
+            stats = service.stats()
+        assert flaky.calls == 3
+        assert stats.retried == 2
+        assert stats.completed == 1
+        assert stats.failed == 0
+
+    def test_attempts_exhausted_surfaces_typed_error(self):
+        from repro.guard import InjectedFault
+        catalog = site_catalog()
+        flaky = FlakyEngine(catalog.engine("site"), failures=99)
+        with QueryService(catalog, workers=1,
+                          retry_policy=fast_retry()) as service:
+            with pytest.raises(InjectedFault):
+                service.query("site", QUERY)
+            stats = service.stats()
+        assert flaky.calls == 3
+        assert stats.retried == 2
+        assert stats.failed == 1
+
+    def test_algorithm_error_steps_to_next_strategy(self):
+        from repro.guard import AlgorithmError
+        catalog = site_catalog()
+        engine = catalog.engine("site")
+        strategies = []
+        original = engine.execute
+
+        def broken_twigjoin(compiled, *args, **kwargs):
+            strategies.append(kwargs.get("strategy"))
+            if kwargs.get("strategy") == "twigjoin":
+                raise AlgorithmError("twigjoin exploded")
+            return original(compiled, *args, **kwargs)
+
+        engine.execute = broken_twigjoin
+        with QueryService(catalog, workers=1,
+                          retry_policy=fast_retry()) as service:
+            pending = service.submit(
+                QueryRequest("site", QUERY, strategy="twigjoin"))
+            response = pending.response(timeout=10)
+        assert response.ok
+        assert response.attempts == 2
+        assert strategies == ["twigjoin", "nljoin"]
+
+    def test_caller_error_never_retried(self):
+        from repro.guard import ReproError
+        catalog = site_catalog()
+        with QueryService(catalog, workers=1,
+                          retry_policy=fast_retry()) as service:
+            with pytest.raises(ReproError):
+                service.query("site", "///")
+            stats = service.stats()
+        assert stats.retried == 0
+        assert stats.failed == 1
+
+    def test_backoff_never_crosses_deadline(self):
+        from repro.guard import InjectedFault
+        catalog = site_catalog()
+        flaky = FlakyEngine(catalog.engine("site"), failures=99)
+        # A 10 s backoff cannot fit a 0.5 s deadline: the first failure
+        # must surface immediately instead of sleeping past it.
+        policy = fast_retry(base_delay=10.0, max_delay=10.0)
+        with QueryService(catalog, workers=1,
+                          retry_policy=policy) as service:
+            started = time.perf_counter()
+            with pytest.raises(InjectedFault):
+                service.query("site", QUERY, timeout=0.5)
+            elapsed = time.perf_counter() - started
+        assert flaky.calls == 1
+        assert elapsed < 5.0
+        assert service.stats().retried == 0
+
+    def test_no_policy_means_no_retry(self):
+        from repro.guard import InjectedFault
+        catalog = site_catalog()
+        flaky = FlakyEngine(catalog.engine("site"), failures=1)
+        with QueryService(catalog, workers=1) as service:
+            with pytest.raises(InjectedFault):
+                service.query("site", QUERY)
+        assert flaky.calls == 1
+
+
+# -- circuit breaker + degraded mode -------------------------------------------
+
+def strict_breaker(**overrides):
+    from repro.serve import BreakerPolicy
+    defaults = dict(window=4, min_samples=4, failure_threshold=0.5,
+                    reset_seconds=60.0)
+    defaults.update(overrides)
+    return BreakerPolicy(**defaults)
+
+
+class TestCircuitBreakerIntegration:
+    def poisoned_service(self, **service_options):
+        from repro.guard import InjectedFault
+        catalog = site_catalog()
+        engine = catalog.engine("site")
+
+        def poisoned_execute(compiled, *args, **kwargs):
+            raise InjectedFault("document is poisoned", site="test")
+
+        engine.execute = poisoned_execute
+        return QueryService(catalog, workers=1,
+                            breaker_policy=strict_breaker(),
+                            **service_options)
+
+    def trip(self, service, n=4):
+        from repro.guard import ReproError
+        for _ in range(n):
+            with pytest.raises(ReproError):
+                service.query("site", QUERY)
+
+    def test_failures_open_circuit_and_shed_at_admission(self):
+        from repro.guard import CircuitOpen
+        with self.poisoned_service() as service:
+            self.trip(service)
+            with pytest.raises(CircuitOpen) as excinfo:
+                service.query("site", QUERY)
+            error = excinfo.value
+            assert error.code == "REPRO-CIRCUIT-OPEN"
+            assert error.document == "site"
+            assert error.retry_after_seconds > 0
+            stats = service.stats()
+        assert stats.breaker_rejected == 1
+        assert stats.failed == 4
+
+    def test_circuit_open_serves_provably_empty_degraded(self):
+        with self.poisoned_service() as service:
+            self.trip(service)
+            pending = service.submit(
+                QueryRequest("site", "$input//nosuchtag"))
+            response = pending.response(timeout=10)
+            assert response.ok
+            assert response.degraded
+            assert response.results == []
+            stats = service.stats()
+        assert stats.degraded == 1
+        assert stats.breaker_rejected == 0
+
+    def test_degraded_mode_disabled_always_rejects(self):
+        from repro.guard import CircuitOpen
+        with self.poisoned_service(degraded_mode=False) as service:
+            self.trip(service)
+            with pytest.raises(CircuitOpen):
+                service.query("site", "$input//nosuchtag")
+            assert service.stats().degraded == 0
+
+    def test_health_reflects_open_breaker(self):
+        with self.poisoned_service() as service:
+            assert service.health().status == "healthy"
+            self.trip(service)
+            health = service.health()
+            assert health.status == "degraded"  # summary still serves
+            site = health.documents[0]
+            assert site.document == "site"
+            assert site.breaker_state == "open"
+            assert site.failures == 4
+            assert site.last_error == "REPRO-CHAOS"
+            assert site.degraded_capable
+            assert "breaker=open" in health.report()
+
+    def test_successful_traffic_keeps_circuit_closed(self):
+        catalog = site_catalog()
+        with QueryService(catalog, workers=2,
+                          breaker_policy=strict_breaker()) as service:
+            for _ in range(8):
+                service.query("site", QUERY)
+            health = service.health()
+            assert health.status == "healthy"
+            assert health.documents[0].breaker_state == "closed"
+            assert service.stats().breaker_rejected == 0
+
+    def test_probe_closes_half_open_circuit(self):
+        from repro.guard import InjectedFault
+        clock_value = [100.0]
+        catalog = site_catalog()
+        engine = catalog.engine("site")
+        original = engine.execute
+        poisoned = [True]
+
+        def flappy_execute(compiled, *args, **kwargs):
+            if poisoned[0]:
+                raise InjectedFault("poisoned", site="test")
+            return original(compiled, *args, **kwargs)
+
+        engine.execute = flappy_execute
+        # A controllable clock drives the breaker cooldown; real time
+        # drives nothing else in this test.
+        service = QueryService(
+            catalog, workers=1,
+            breaker_policy=strict_breaker(reset_seconds=10.0),
+            clock=lambda: clock_value[0])
+        try:
+            self.trip(service)
+            breaker = service.health_tracker.breaker("site")
+            assert breaker.state == "open"
+            clock_value[0] += 11.0
+            assert breaker.state == "half-open"
+            poisoned[0] = False   # the document recovered
+            health = service.probe("site")
+            assert health.last_probe_ok is True
+            assert breaker.state == "closed"
+            assert len(service.query("site", QUERY)) == 1
+        finally:
+            service.close()
+
+
+# -- shutdown with dead workers (regression) -----------------------------------
+
+class WorkerKilled(BaseException):
+    """Escapes the worker's Exception handling, killing the thread —
+    the only way a real execution can be abandoned mid-flight."""
+
+
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+class TestDeadWorkerShutdown:
+    def dead_worker_service(self):
+        service = QueryService(site_catalog(), workers=1, queue_limit=8)
+        service._run = lambda execution: (_ for _ in ()).throw(
+            WorkerKilled())
+        return service
+
+    def wait_for_worker_death(self, service):
+        for _ in range(200):
+            if not service._workers[0].is_alive():
+                return
+            time.sleep(0.01)
+        raise AssertionError("worker never died")
+
+    def test_coalesced_followers_unblocked_on_close(self):
+        service = self.dead_worker_service()
+        leader = service.submit(QueryRequest("site", QUERY))
+        self.wait_for_worker_death(service)
+        # The leader's execution is still registered in-flight, so an
+        # identical request coalesces onto the abandoned execution.
+        follower = service.submit(QueryRequest("site", QUERY))
+        assert follower.coalesced
+        service.close(drain=True)   # must not hang
+        with pytest.raises(ServiceClosed):
+            leader.result(timeout=5)
+        with pytest.raises(ServiceClosed):
+            follower.result(timeout=5)
+
+    def test_requests_queued_behind_dead_worker_fail_typed(self):
+        service = self.dead_worker_service()
+        doomed = service.submit(QueryRequest("site", QUERY))
+        self.wait_for_worker_death(service)
+        queued = service.submit(QueryRequest("site", OTHER_QUERY))
+        service.close(drain=True)
+        with pytest.raises(ServiceClosed):
+            doomed.result(timeout=5)
+        with pytest.raises(ServiceClosed):
+            queued.result(timeout=5)
+        stats = service.stats()
+        assert stats.failed >= 2
+
+    def test_unexpected_engine_exception_is_wrapped_typed(self):
+        from repro.guard import InternalError
+        catalog = site_catalog()
+        engine = catalog.engine("site")
+
+        def buggy_execute(compiled, *args, **kwargs):
+            raise RuntimeError("a bug, not a typed error")
+
+        engine.execute = buggy_execute
+        with QueryService(catalog, workers=1) as service:
+            with pytest.raises(InternalError) as excinfo:
+                service.query("site", QUERY)
+            assert excinfo.value.code == "REPRO-INTERNAL"
+            assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+# -- catalog quarantine and rebuild --------------------------------------------
+
+class TestCatalogQuarantine:
+    def write_index(self, tmp_path, name="site"):
+        engine = Engine.from_xml(SITE_XML)
+        path = tmp_path / f"{name}.rpxc"
+        engine.document.save(str(path))
+        return path
+
+    def corrupt(self, path):
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF   # flip a payload byte
+        path.write_bytes(bytes(data))
+
+    def test_storage_failure_quarantines_document(self):
+        import tempfile
+        from pathlib import Path
+        from repro.guard import DocumentQuarantined
+        from repro.xmltree.columnar import StorageError
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self.write_index(Path(tmp))
+            self.corrupt(path)
+            catalog = DocumentCatalog()
+            catalog.add_file("site", str(path))
+            with pytest.raises(StorageError):
+                catalog.engine("site")
+            assert catalog.quarantined_names() == ["site"]
+            assert "site" not in catalog
+            # Subsequent lookups explain the quarantine, typed.
+            with pytest.raises(DocumentQuarantined) as excinfo:
+                catalog.engine("site")
+            assert excinfo.value.code == "REPRO-STORAGE-QUARANTINED"
+            assert excinfo.value.document == "site"
+            record = catalog.quarantined()["site"]
+            assert record.path == str(path)
+
+    def test_reregistration_clears_quarantine(self):
+        import tempfile
+        from pathlib import Path
+        from repro.xmltree.columnar import StorageError
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self.write_index(Path(tmp))
+            self.corrupt(path)
+            catalog = DocumentCatalog()
+            catalog.add_file("site", str(path))
+            with pytest.raises(StorageError):
+                catalog.engine("site")
+            self.write_index(Path(tmp))   # fix the file
+            catalog.add_file("site", str(path))   # no duplicate error
+            assert catalog.quarantined_names() == []
+            assert len(catalog.engine("site").run(OTHER_QUERY)) == 2
+
+    def test_rebuild_falls_back_to_xml_source(self):
+        import tempfile
+        from pathlib import Path
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self.write_index(Path(tmp))
+            (Path(tmp) / "site.xml").write_text(SITE_XML,
+                                                encoding="utf-8")
+            self.corrupt(path)
+            catalog = DocumentCatalog()
+            catalog.add_file("site", str(path), rebuild=True)
+            engine = catalog.engine("site")
+            assert len(engine.run(OTHER_QUERY)) == 2
+            assert catalog.quarantined_names() == []
+            assert catalog.rebuilt() == {"site": str(Path(tmp)
+                                                     / "site.xml")}
+            # Best-effort heal: the index file was rewritten and now
+            # loads cleanly.
+            fresh = DocumentCatalog()
+            fresh.add_file("fresh", str(path))
+            assert len(fresh.engine("fresh").run(OTHER_QUERY)) == 2
+
+    def test_parse_error_frees_slot_without_quarantine(self):
+        import tempfile
+        from pathlib import Path
+        from repro.guard import ReproError
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "bad.xml"
+            path.write_text("<site><unclosed>", encoding="utf-8")
+            catalog = DocumentCatalog()
+            catalog.add_file("bad", str(path))
+            with pytest.raises(ReproError):
+                catalog.engine("bad")
+            assert "bad" not in catalog
+            assert catalog.quarantined_names() == []
+            path.write_text(SITE_XML, encoding="utf-8")
+            catalog.add_file("bad", str(path))
+            assert len(catalog.engine("bad").run(OTHER_QUERY)) == 2
+
+    def test_remove_clears_quarantine(self):
+        import tempfile
+        from pathlib import Path
+        from repro.xmltree.columnar import StorageError
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self.write_index(Path(tmp))
+            self.corrupt(path)
+            catalog = DocumentCatalog()
+            catalog.add_file("site", str(path))
+            with pytest.raises(StorageError):
+                catalog.engine("site")
+            catalog.remove("site")
+            assert catalog.quarantined_names() == []
