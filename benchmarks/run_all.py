@@ -15,6 +15,7 @@ import time
 
 import bench_ablation
 import bench_columnar
+import bench_compiled
 import bench_extensions
 import bench_figure4
 import bench_figure6
@@ -50,6 +51,8 @@ def main() -> int:
          bench_columnar.generate_table),
         ("Resilience under chaos (docs/ROBUSTNESS.md, E11)",
          bench_serve.generate_chaos_table),
+        ("Compiled backend (docs/PIPELINE.md, E12)",
+         bench_compiled.generate_table),
     ]
     for title, generate in sections:
         start = time.perf_counter()

@@ -1,0 +1,10 @@
+"""The compiled (push-based, produce/consume) execution backend.
+
+Selected with ``Engine(backend="compiled")`` or the CLI's ``--backend
+compiled``; see :mod:`repro.compiled.codegen` for the architecture and
+``docs/PIPELINE.md`` for the breaker rules and escape hatch.
+"""
+
+from .codegen import CodegenError, CompiledPlan, compile_count, compile_plan
+
+__all__ = ["CodegenError", "CompiledPlan", "compile_count", "compile_plan"]

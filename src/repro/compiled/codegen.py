@@ -1,0 +1,536 @@
+"""Produce/consume plan compilation (ROADMAP item 1).
+
+The interpreter in :mod:`repro.algebra.eval` is strict and pull-based:
+every operator materializes its whole result, and every evaluation pays
+an isinstance-dispatch plus (when observability is attached) a metrics/
+governor/trace wrapper call.  This module removes that overhead by
+*compiling* a plan into one Python function: the tuple-sorted operator
+chains (``MapFromItem`` → ``Select`` → ``TupleTreePattern`` → …) fuse
+into nested loops with **tuple-at-a-time push semantics** — a tuple is a
+set of Python locals, pushed through the downstream stages' code the
+moment it is produced — and only the *pipeline breakers* materialize:
+
+* ``fs:ddo`` (sort + duplicate removal needs the whole sequence),
+* aggregation ``FnCall``\\ s whose argument drains a tuple pipeline,
+* the pattern evaluation inside ``TupleTreePattern`` (the join's build
+  side: :meth:`~repro.physical.base.TreePatternAlgorithm.evaluate`
+  returns the per-tuple binding list in one call).
+
+The architecture follows the ``CompileState``/``Pipelined`` design of
+push-based query compilers: each tuple operator's code generator calls
+its input's generator with a *consume* callback that emits the
+downstream per-tuple code into the innermost loop body.
+
+**Parity discipline.**  Two function variants are generated per plan.
+The *fast* variant assumes no observability is attached — exactly the
+interpreter's ``metrics is None and governor is None and trace is None``
+early-out — and keeps only the semantics (including chaos points, which
+fire in plain runs too).  The *instrumented* variant re-emits every
+interpreter-side effect at the structurally matching point: one
+``operator_evals`` increment, span begin/end, ``record_op``, governor
+``tick``/``enter``/``leave``/``note_output`` per operator *activation*,
+with per-stage push counters standing in for the interpreter's
+``len(result)``.  Counter values are exact; only span *parentage* and
+governor *depth* differ inside fused pipelines (stages stay open while
+downstream per-tuple code runs) — the documented breaker-materialization
+tolerance the property suite allows for.
+
+Field names are uniquified at algebra-compile time (see
+``repro.algebra.compile``), so tuple fields map to Python locals with a
+flat compile-time scope and never shadow.  Generated source embeds no
+runtime ids and no memory addresses: compiling the same query twice
+yields the same source text (snapshot-stable).
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..algebra.eval import EvalContext, _is_numeric_singleton
+from ..algebra.functions import call_function
+from ..algebra.ops import (Arith, Compare, Const, DDOPlan, FieldAccess,
+                           FnCall, IfPlan, InputTuple, ItemPlan, LetPlan,
+                           Logical, MapFromItem, MapToItem, Plan, Select,
+                           SeqPlan, TreeJoin, TuplePlan, TupleTreePattern,
+                           TypeswitchPlan, VarPlan, walk_plan)
+from ..algebra.runtime import (DynamicError, Sequence_, arithmetic,
+                               effective_boolean_value, general_compare)
+from ..guard.errors import ReproError
+from ..pattern import TreePattern
+from ..physical.base import TreePatternAlgorithm
+from ..xmltree.axes import step as axis_step
+from ..xmltree.document import ddo
+from ..xmltree.node import Node
+from ..xqcore.cast import Var
+from .runtime import context_nodes, raise_dynamic, ttp_eval, unknown_field
+
+__all__ = ["CodegenError", "CompiledPlan", "compile_plan", "compile_count"]
+
+
+class CodegenError(ReproError):
+    """The plan compiler cannot generate code for this plan.
+
+    Raised at codegen time, never from generated code; the engine
+    reacts by falling back to the interpreted backend (recording a
+    :class:`~repro.guard.FallbackEvent`)."""
+
+    code = "REPRO-CODEGEN"
+
+
+#: total successful :func:`compile_plan` runs in this process — lets the
+#: cache-reuse tests prove a plan is generated once and re-run many
+#: times.
+_COMPILE_COUNT = itertools.count()
+_COMPILED_TOTAL = 0
+
+
+def compile_count() -> int:
+    """How many plans have been compiled to Python so far."""
+    return _COMPILED_TOTAL
+
+
+#: functions every generated module can see.  Names are short because
+#: they appear once per call site in generated source.
+_HELPERS = {
+    "_step": axis_step,
+    "_ddo": ddo,
+    "_ebv": effective_boolean_value,
+    "_gc": general_compare,
+    "_arith": arithmetic,
+    "_call": call_function,
+    "_ttp_eval": ttp_eval,
+    "_ctx_nodes": context_nodes,
+    "_unknown_field": unknown_field,
+    "_raise_dyn": raise_dynamic,
+    "_is_num1": _is_numeric_singleton,
+    "_Node": Node,
+    "_Dyn": DynamicError,
+}
+
+#: aggregate-style built-ins: a call over a tuple pipeline drains it.
+_PIPELINE_SINKS = (MapToItem,)
+
+
+@dataclass
+class CompiledPlan:
+    """One plan compiled to Python, in both variants.
+
+    ``source`` is the fast variant's text (the snapshot the unit tests
+    pin); ``breakers`` names every materialization point, in emission
+    order.
+    """
+
+    plan: ItemPlan
+    source: str
+    instrumented_source: str
+    breakers: Tuple[str, ...]
+    _fast: Callable[[EvalContext], Sequence_]
+    _instrumented: Callable[[EvalContext], Sequence_]
+
+    def run(self, ctx: EvalContext) -> Sequence_:
+        """Evaluate; the same is-None dispatch as the interpreter's
+        ``eval_item`` picks the variant."""
+        if ctx.metrics is None and ctx.governor is None \
+                and ctx.trace is None:
+            return self._fast(ctx)
+        return self._instrumented(ctx)
+
+
+def compile_plan(plan: ItemPlan) -> CompiledPlan:
+    """Compile an item plan into a :class:`CompiledPlan`.
+
+    Raises :class:`CodegenError` — and nothing else — when the plan (or
+    a pattern inside it) is outside the compilable fragment.
+    """
+    global _COMPILED_TOTAL
+    if not isinstance(plan, ItemPlan):
+        raise CodegenError(
+            f"can only compile item-sorted root plans, "
+            f"got {type(plan).__name__}")
+    try:
+        fast = _Codegen(instrumented=False).generate(plan)
+        instrumented = _Codegen(instrumented=True).generate(plan)
+        fast_fn = _assemble(*fast[:2])
+        instrumented_fn = _assemble(*instrumented[:2])
+    except CodegenError:
+        raise
+    except Exception as err:  # defensive: never leak codegen bugs
+        raise CodegenError(
+            f"plan code generation failed: {err}") from err
+    _COMPILED_TOTAL = next(_COMPILE_COUNT) + 1
+    return CompiledPlan(plan=plan, source=fast[0],
+                        instrumented_source=instrumented[0],
+                        breakers=tuple(fast[2]),
+                        _fast=fast_fn, _instrumented=instrumented_fn)
+
+
+def _assemble(source: str, consts: List[object]) -> Callable:
+    namespace = dict(_HELPERS)
+    for index, value in enumerate(consts):
+        namespace[f"_k{index}"] = value
+    code = compile(source, "<repro.compiled>", "exec")
+    exec(code, namespace)
+    return namespace["_compiled"]
+
+
+class _Codegen:
+    """One generation pass over a plan (fast or instrumented)."""
+
+    def __init__(self, instrumented: bool) -> None:
+        self.instrumented = instrumented
+        self.lines: List[str] = []
+        self.indent = 1
+        self.consts: List[object] = []
+        self._const_names: Dict[int, str] = {}
+        self._counter = 0
+        self.breakers: List[str] = []
+        #: compile-time scope: tuple field name -> local; let var -> local.
+        self.fields: Dict[str, str] = {}
+        self.vars: Dict[Var, str] = {}
+        #: > 0 while emitting a dependent sub-plan (``IN`` is bound).
+        self.in_tuple = 0
+
+    # -- emission primitives ------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"_{prefix}{self._counter}"
+
+    def const(self, value: object) -> str:
+        name = self._const_names.get(id(value))
+        if name is None:
+            name = f"_k{len(self.consts)}"
+            self.consts.append(value)
+            self._const_names[id(value)] = name
+        return name
+
+    @contextmanager
+    def block(self):
+        """An indented suite; emits ``pass`` if the body stays empty."""
+        self.indent += 1
+        mark = len(self.lines)
+        try:
+            yield
+        finally:
+            if len(self.lines) == mark:
+                self.emit("pass")
+            self.indent -= 1
+
+    @contextmanager
+    def scoped_fields(self, bindings: Dict[str, str]):
+        saved = {name: self.fields.get(name) for name in bindings}
+        self.fields.update(bindings)
+        try:
+            yield
+        finally:
+            for name, previous in saved.items():
+                if previous is None:
+                    self.fields.pop(name, None)
+                else:
+                    self.fields[name] = previous
+
+    @contextmanager
+    def scoped_var(self, var: Var, local: str):
+        previous = self.vars.get(var)
+        self.vars[var] = local
+        try:
+            yield
+        finally:
+            if previous is None:
+                del self.vars[var]
+            else:
+                self.vars[var] = previous
+
+    @contextmanager
+    def dependent(self):
+        """Emitting a per-tuple dependent sub-plan (``IN`` is bound)."""
+        self.in_tuple += 1
+        try:
+            yield
+        finally:
+            self.in_tuple -= 1
+
+    # -- instrumentation (parity with eval_item / eval_tuples) --------------
+
+    def begin_op(self, plan: Plan) -> Optional[str]:
+        """Per-activation pre-instrumentation, mirroring the interpreter
+        wrapper order: metrics count, span begin, governor tick+enter."""
+        if not self.instrumented:
+            return None
+        name = type(plan).__name__
+        span = self.fresh("sp")
+        self.emit(f"if _m is not None: _m.operator_evals[{name!r}] += 1")
+        self.emit(f"{span} = _tr.begin_span({name!r}) "
+                  f"if _tr is not None else None")
+        self.emit("if _gov is not None:")
+        with self.block():
+            self.emit("_gov.tick()")
+            self.emit("_gov.enter()")
+        return span
+
+    def end_op(self, plan: Plan, span: Optional[str], count: str,
+               produced: str) -> None:
+        """Per-activation post-instrumentation: governor leave +
+        note_output, span end + record_op, produced counter.  ``count``
+        is a runtime expression for the activation's cardinality."""
+        if not self.instrumented:
+            return
+        name = type(plan).__name__
+        self.emit("if _gov is not None:")
+        with self.block():
+            self.emit("_gov.leave()")
+            self.emit(f"_gov.note_output({count})")
+        self.emit(f"if {span} is not None:")
+        with self.block():
+            self.emit(f"_tr.end_span({span}, rows={count})")
+            self.emit(f"_tr.record_op(id({self.const(plan)}), {name!r}, "
+                      f"{span}.duration, {count})")
+        self.emit(f"if _m is not None: _m.{produced} += {count}")
+
+    # -- entry point --------------------------------------------------------
+
+    def generate(self, plan: ItemPlan):
+        """Emit the whole function; returns (source, consts, breakers)."""
+        out = self.item(plan)
+        self.emit(f"return {out}")
+        header = ["def _compiled(ctx):",
+                  "    _doc = ctx.document",
+                  "    _strategy = ctx.strategy",
+                  "    _lookupv = ctx.lookup_var"]
+        if self.instrumented:
+            header += ["    _m = ctx.metrics",
+                       "    _gov = ctx.governor",
+                       "    _tr = ctx.trace"]
+        source = "\n".join(header + self.lines) + "\n"
+        return source, self.consts, self.breakers
+
+    # -- item-sorted operators ----------------------------------------------
+
+    def item(self, plan: ItemPlan) -> str:
+        """Emit one item-operator activation; returns the local holding
+        its materialized result list."""
+        span = self.begin_op(plan)
+        out = self._item_body(plan)
+        self.end_op(plan, span, f"len({out})", "items_produced")
+        return out
+
+    def _item_body(self, plan: ItemPlan) -> str:
+        out = self.fresh("s")
+        if isinstance(plan, Const):
+            self.emit(f"{out} = list({self.const(plan.values)})")
+        elif isinstance(plan, VarPlan):
+            local = self.vars.get(plan.var)
+            if local is not None:
+                self.emit(f"{out} = list({local})")
+            else:
+                self.emit(f"{out} = list(_lookupv({self.const(plan.var)}))")
+        elif isinstance(plan, FieldAccess):
+            local = self.fields.get(plan.field)
+            if local is not None:
+                self.emit(f"{out} = list({local})")
+            else:
+                self.emit(f"{out} = _unknown_field({plan.field!r})")
+        elif isinstance(plan, TreeJoin):
+            inp = self.item(plan.input)
+            axis = self.const(plan.axis)
+            test = self.const(plan.test)
+            item = self.fresh("i")
+            self.emit(f"{out} = []")
+            self.emit(f"for {item} in {inp}:")
+            with self.block():
+                self.emit(f"if not isinstance({item}, _Node):")
+                with self.block():
+                    self.emit('_raise_dyn("TreeJoin over a non-node item")')
+                self.emit(f"{out}.extend(_step({item}, {axis}, {test}))")
+        elif isinstance(plan, DDOPlan):
+            self.breakers.append("ddo")
+            inp = self.item(plan.input)
+            item = self.fresh("i")
+            self.emit(f"for {item} in {inp}:")
+            with self.block():
+                self.emit(f"if not isinstance({item}, _Node):")
+                with self.block():
+                    self.emit('_raise_dyn("fs:ddo over a non-node item")')
+            self.emit(f"{out} = _ddo({inp})")
+        elif isinstance(plan, MapToItem):
+            self.emit(f"{out} = []")
+
+            def consume() -> None:
+                with self.dependent():
+                    dep = self.item(plan.dep)
+                self.emit(f"{out}.extend({dep})")
+
+            self.tuples(plan.input, consume)
+        elif isinstance(plan, FnCall):
+            if any(isinstance(node, _PIPELINE_SINKS)
+                   for arg in plan.args for node in walk_plan(arg)):
+                # plan.name already carries its namespace ("fn:count").
+                self.breakers.append(plan.name)
+            args = [self.item(arg) for arg in plan.args]
+            self.emit(f"{out} = _call({plan.name!r}, [{', '.join(args)}])")
+        elif isinstance(plan, Compare):
+            left = self.item(plan.left)
+            right = self.item(plan.right)
+            self.emit(f"{out} = [_gc({plan.op!r}, {left}, {right})]")
+        elif isinstance(plan, Logical):
+            left = self.item(plan.left)
+            short = "[False]" if plan.op == "and" else "[True]"
+            guard = "not _ebv" if plan.op == "and" else "_ebv"
+            self.emit(f"if {guard}({left}):")
+            with self.block():
+                self.emit(f"{out} = {short}")
+            self.emit("else:")
+            with self.block():
+                right = self.item(plan.right)
+                self.emit(f"{out} = [_ebv({right})]")
+        elif isinstance(plan, Arith):
+            left = self.item(plan.left)
+            right = self.item(plan.right)
+            self.emit(f"{out} = _arith({plan.op!r}, {left}, {right})")
+        elif isinstance(plan, IfPlan):
+            condition = self.item(plan.condition)
+            self.emit(f"if _ebv({condition}):")
+            with self.block():
+                then = self.item(plan.then_branch)
+                self.emit(f"{out} = {then}")
+            self.emit("else:")
+            with self.block():
+                other = self.item(plan.else_branch)
+                self.emit(f"{out} = {other}")
+        elif isinstance(plan, LetPlan):
+            value = self.item(plan.value)
+            with self.scoped_var(plan.var, value):
+                body = self.item(plan.body)
+            self.emit(f"{out} = {body}")
+        elif isinstance(plan, SeqPlan):
+            self.emit(f"{out} = []")
+            for item_plan in plan.items:
+                part = self.item(item_plan)
+                self.emit(f"{out}.extend({part})")
+        elif isinstance(plan, TypeswitchPlan):
+            value = self.item(plan.input)
+            numeric = next((case for case in plan.cases
+                            if case.seqtype == "numeric"), None)
+            if numeric is not None:
+                self.emit(f"if _is_num1({value}):")
+                with self.block():
+                    with self.scoped_var(numeric.var, value):
+                        body = self.item(numeric.body)
+                    self.emit(f"{out} = {body}")
+                self.emit("else:")
+                with self.block():
+                    with self.scoped_var(plan.default_var, value):
+                        default = self.item(plan.default_body)
+                    self.emit(f"{out} = {default}")
+            else:
+                with self.scoped_var(plan.default_var, value):
+                    default = self.item(plan.default_body)
+                self.emit(f"{out} = {default}")
+        else:
+            raise CodegenError(
+                f"cannot compile item operator {type(plan).__name__}")
+        return out
+
+    # -- tuple-sorted operators (the fused pipelines) ------------------------
+
+    def tuples(self, plan: TuplePlan, consume: Callable[[], None]) -> None:
+        """Emit the pipeline rooted at ``plan``, calling ``consume`` to
+        emit the downstream per-tuple code into the innermost loop."""
+        span = self.begin_op(plan)
+        counter = None
+        if self.instrumented:
+            counter = self.fresh("n")
+            self.emit(f"{counter} = 0")
+
+        def push() -> None:
+            if counter is not None:
+                self.emit(f"{counter} += 1")
+            consume()
+
+        self._tuples_body(plan, push)
+        self.end_op(plan, span, counter or "0", "tuples_produced")
+
+    def _tuples_body(self, plan: TuplePlan,
+                     push: Callable[[], None]) -> None:
+        if isinstance(plan, InputTuple):
+            if not self.in_tuple:
+                self.emit('_raise_dyn("IN used outside a dependent plan")')
+            else:
+                push()
+        elif isinstance(plan, MapFromItem):
+            items = self.item(plan.input)
+            item = self.fresh("i")
+            bindings = {plan.bind_field: self.fresh("f")}
+            if plan.index_field is not None:
+                index = self.fresh("x")
+                bindings[plan.index_field] = self.fresh("f")
+                self.emit(f"for {index}, {item} in enumerate({items}, 1):")
+            else:
+                self.emit(f"for {item} in {items}:")
+            with self.block():
+                self.emit(f"{bindings[plan.bind_field]} = [{item}]")
+                if plan.index_field is not None:
+                    self.emit(f"{bindings[plan.index_field]} = [{index}]")
+                with self.scoped_fields(bindings):
+                    push()
+        elif isinstance(plan, Select):
+            def filtered() -> None:
+                with self.dependent():
+                    predicate = self.item(plan.predicate)
+                self.emit(f"if _ebv({predicate}):")
+                with self.block():
+                    push()
+
+            self.tuples(plan.input, filtered)
+        elif isinstance(plan, TupleTreePattern):
+            self._ttp_body(plan, push)
+        else:
+            raise CodegenError(
+                f"cannot compile tuple operator {type(plan).__name__}")
+
+    def _ttp_body(self, plan: TupleTreePattern,
+                  push: Callable[[], None]) -> None:
+        pattern: TreePattern = plan.pattern
+        main_fields = [step.output_field for step in pattern.path.steps
+                       if step.output_field is not None]
+        if len(main_fields) != len(pattern.output_fields()):
+            # Predicate-branch output fields would be bound dynamically
+            # per binding dict; the optimizer never emits them
+            # (``add_predicates`` strips branch outputs), so refuse
+            # rather than guess.
+            raise CodegenError(
+                "cannot compile a tree pattern with output fields on "
+                f"predicate branches: {pattern.to_string()}")
+        if TreePatternAlgorithm.is_pipeline_breaker:
+            self.breakers.append("pattern")
+        pattern_const = self.const(pattern)
+        self.emit("if _doc is None:")
+        with self.block():
+            self.emit('_raise_dyn("TupleTreePattern requires an '
+                      'indexed document")')
+
+        def per_tuple() -> None:
+            contexts = self.fresh("c")
+            source = self.fields.get(pattern.input_field)
+            if source is None:
+                source = f"_unknown_field({pattern.input_field!r})"
+            self.emit(f"{contexts} = _ctx_nodes({source})")
+            bindings = self.fresh("b")
+            self.emit(f"{bindings} = _ttp_eval(_strategy, _doc, {contexts},"
+                      f" {pattern_const})")
+            binding = self.fresh("t")
+            self.emit(f"for {binding} in {bindings}:")
+            with self.block():
+                locals_ = {name: self.fresh("f") for name in main_fields}
+                for name, local in locals_.items():
+                    self.emit(f"{local} = [{binding}[{name!r}]]")
+                with self.scoped_fields(locals_):
+                    push()
+
+        self.tuples(plan.input, per_tuple)

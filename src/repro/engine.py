@@ -20,13 +20,15 @@ physical algorithm choice at execution time.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import astuple, dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .algebra import (EvalContext, ItemPlan, TupleTreePattern, compile_core,
                       count_operators, eval_item, optimize_plan,
                       plan_canonical, plan_to_string)
 from .algebra.optimizer import OptimizerOptions
+from .compiled import CodegenError, CompiledPlan, compile_plan
 from .guard import (AlgorithmError, BudgetExceeded, Budgets, FallbackEvent,
                     InputError, ResourceGovernor)
 from .obs import ExecMetrics, PipelineMetrics, PlanCache, TracedRun
@@ -54,6 +56,11 @@ DEFAULT_FALLBACK_CHAIN: Tuple[str, ...] = ("nljoin", ITEM_EVALUATOR)
 #: refuses larger inputs unless ``max_document_size`` is raised/``None``.
 DEFAULT_MAX_DOCUMENT_SIZE = 64 * 1024 * 1024
 
+#: execution backends: the strict list-at-a-time interpreter
+#: (:mod:`repro.algebra.eval`) and the produce/consume plan compiler
+#: (:mod:`repro.compiled`).
+BACKENDS = ("interpreted", "compiled")
+
 
 @dataclass
 class CompiledQuery:
@@ -70,6 +77,14 @@ class CompiledQuery:
     rewrite_trace: Optional[RewriteTrace] = None
     #: wall-clock seconds per compilation stage (see :mod:`repro.obs`).
     pipeline_metrics: Optional[PipelineMetrics] = None
+    #: codegen artifacts for the compiled backend, keyed by plan role
+    #: (``"optimized"`` / ``"plan"``): a
+    #: :class:`~repro.compiled.CompiledPlan`, or the
+    #: :class:`~repro.compiled.CodegenError` that refused it (a negative
+    #: cache, so a failing plan is not re-attempted every execute).
+    #: Living on the query object, the generated closures share the plan
+    #: cache's lifetime and LRU policy for free.
+    codegen: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def core(self) -> CExpr:
@@ -125,7 +140,8 @@ class Engine:
                  fallback_chain: Optional[Sequence[str]]
                  = DEFAULT_FALLBACK_CHAIN,
                  strict: bool = False,
-                 use_summary: bool = True) -> None:
+                 use_summary: bool = True,
+                 backend: str = "interpreted") -> None:
         self.document = document
         self.rewrite_options = rewrite_options or RewriteOptions()
         self.optimizer_options = optimizer_options or OptimizerOptions()
@@ -145,6 +161,13 @@ class Engine:
         #: prefiltering plus selectivity-aware costing.  ``False`` (the
         #: CLI's ``--no-summary``) runs on flat tag statistics only.
         self.use_summary = use_summary
+        #: how plans execute: ``"interpreted"`` walks them with
+        #: :func:`repro.algebra.eval.eval_item`; ``"compiled"``
+        #: generates fused push-based Python per plan (see
+        #: :mod:`repro.compiled` and ``docs/PIPELINE.md``), falling back
+        #: to the interpreter — with a recorded
+        #: :class:`~repro.guard.FallbackEvent` — on codegen failure.
+        self.backend = self._normalize_backend(backend)
 
     # -- construction ---------------------------------------------------------
 
@@ -267,11 +290,24 @@ class Engine:
             with metrics.stage("columnar"), \
                     maybe_span(tracing, "columnar"):
                 self.document.columns
+            codegen: Dict[str, Any] = {}
+            if self.backend == "compiled":
+                # Generate the optimized plan's Python eagerly so the
+                # cost lands in compile (visible as a stage), not in the
+                # first execute; the unoptimized plan — only needed by
+                # the "item" fallback — is generated lazily.
+                with metrics.stage("codegen"), \
+                        maybe_span(tracing, "codegen"):
+                    try:
+                        codegen["optimized"] = compile_plan(optimized)
+                    except CodegenError as err:
+                        codegen["optimized"] = err
         compiled = CompiledQuery(text=query, surface=surface,
                                  normalized=normalized, tpnf=tpnf, plan=plan,
                                  optimized=optimized,
                                  rewrite_trace=rewrite_trace,
-                                 pipeline_metrics=metrics)
+                                 pipeline_metrics=metrics,
+                                 codegen=codegen)
         if cacheable:
             self.plan_cache.put(key, compiled)
         return compiled
@@ -293,7 +329,8 @@ class Engine:
                 budgets: Optional[Budgets] = None,
                 strict: Optional[bool] = None,
                 fallback_chain: Optional[Sequence[str]] = None,
-                tracing: Optional[Trace] = None) -> List:
+                tracing: Optional[Trace] = None,
+                backend: Optional[str] = None) -> List:
         """Evaluate a compiled query and return the result sequence.
 
         Every free query variable (``$input``, ``$d``, …) that is not
@@ -317,8 +354,17 @@ class Engine:
         as a :class:`~repro.guard.FallbackEvent`.  With ``strict=True``
         nothing is retried and the algorithm's original exception
         propagates.
+
+        ``backend`` overrides the engine's execution backend for this
+        call (``"interpreted"``/``"compiled"``).  A codegen failure
+        under the compiled backend steps back to the interpreter — the
+        two are semantically identical, so this happens even under
+        ``strict`` — and records a :class:`~repro.guard.FallbackEvent`
+        with ``from_strategy="compiled"``.
         """
         strict = self.strict if strict is None else strict
+        backend = self.backend if backend is None \
+            else self._normalize_backend(backend)
         if budgets is None:
             budgets = self.budgets
         if budgets is not None and not budgets.enabled():
@@ -349,7 +395,7 @@ class Engine:
             try:
                 results = self._execute_once(compiled, name, variables,
                                              optimized, metrics, governor,
-                                             tracing)
+                                             tracing, backend)
             except (AlgorithmError, BudgetExceeded) as err:
                 # Close the failed attempt's span before (possibly)
                 # opening the next one, so retries nest as siblings.
@@ -385,7 +431,8 @@ class Engine:
                       variables: Optional[Dict[str, Sequence]],
                       optimized: bool, metrics: Optional[ExecMetrics],
                       governor: Optional[ResourceGovernor],
-                      tracing: Optional[Trace] = None) -> List:
+                      tracing: Optional[Trace] = None,
+                      backend: str = "interpreted") -> List:
         # With the summary disabled the choosers must not build one as a
         # construction default either, so they get no document then.
         chooser_document = self.document if self.use_summary else None
@@ -419,7 +466,38 @@ class Engine:
         context = EvalContext(document=self.document, strategy=algorithm,
                               globals=bindings, metrics=metrics,
                               governor=governor, trace=tracing)
+        if backend == "compiled":
+            role = "optimized" if plan is compiled.optimized else "plan"
+            program = self._codegen_for(compiled, role, plan, tracing)
+            if isinstance(program, CompiledPlan):
+                return program.run(context)
+            # Codegen refused the plan: run interpreted — identical
+            # semantics — and record the degradation.
+            self._record_fallback(metrics, "compiled", strategy_name,
+                                  program)
+            if tracing is not None:
+                tracing.event("fallback", from_strategy="compiled",
+                              to_strategy=strategy_name,
+                              error_code=program.code)
         return eval_item(plan, context)
+
+    def _codegen_for(self, compiled: CompiledQuery, role: str,
+                     plan: ItemPlan, tracing: Optional[Trace]):
+        """The plan's codegen artifact, generating (and caching it on
+        the query, success or refusal) on first use; the generation time
+        is charged to the ``codegen`` pipeline stage."""
+        entry = compiled.codegen.get(role)
+        if entry is None:
+            pipeline = compiled.pipeline_metrics
+            stage = pipeline.stage("codegen") if pipeline is not None \
+                else nullcontext()
+            with stage, maybe_span(tracing, "codegen"):
+                try:
+                    entry = compile_plan(plan)
+                except CodegenError as err:
+                    entry = err
+            compiled.codegen[role] = entry
+        return entry
 
     @staticmethod
     def _record_fallback(metrics: Optional[ExecMetrics], from_name: str,
@@ -434,17 +512,20 @@ class Engine:
     def run(self, query: str,
             strategy: Optional[Strategy | str] = None,
             variables: Optional[Dict[str, Sequence]] = None,
-            optimize: bool = True) -> List:
+            optimize: bool = True,
+            backend: Optional[str] = None) -> List:
         """Compile and evaluate in one call."""
         compiled = self.compile(query, optimize=optimize)
         return self.execute(compiled, strategy=strategy,
-                            variables=variables, optimized=optimize)
+                            variables=variables, optimized=optimize,
+                            backend=backend)
 
     def run_traced(self, query: str,
                    strategy: Optional[Strategy | str] = None,
                    variables: Optional[Dict[str, Sequence]] = None,
                    optimize: bool = True,
-                   tracer: Optional[Tracer] = None) -> TracedRun:
+                   tracer: Optional[Tracer] = None,
+                   backend: Optional[str] = None) -> TracedRun:
         """Compile and evaluate with full observability.
 
         Returns a :class:`repro.obs.TracedRun` carrying the result
@@ -466,7 +547,8 @@ class Engine:
         try:
             results = self.execute(compiled, strategy=strategy,
                                    variables=variables, optimized=optimize,
-                                   metrics=metrics, tracing=trace)
+                                   metrics=metrics, tracing=trace,
+                                   backend=backend)
         finally:
             if trace is not None:
                 trace.finish()
@@ -552,6 +634,15 @@ class Engine:
         raise InputError(
             f"strategy must be a Strategy or a strategy name string, "
             f"got {type(strategy).__name__}", strategy=repr(strategy))
+
+    @staticmethod
+    def _normalize_backend(backend: str) -> str:
+        """Validate an execution-backend designator."""
+        if backend in BACKENDS:
+            return backend
+        raise InputError(
+            f"unknown backend {backend!r}; valid backends: "
+            f"{', '.join(BACKENDS)}", backend=repr(backend))
 
     def _normalize_chain(self,
                          chain: Optional[Sequence[str]]) -> Tuple[str, ...]:

@@ -49,9 +49,10 @@ DECISION_RING_SIZE = 256
 
 #: the compilation stages, in pipeline order (paper Figure 2, plus the
 #: structural-summary and integer-column constructions the engine times
-#: on first compile).
+#: on first compile, plus Python code generation when the compiled
+#: backend is selected).
 PIPELINE_STAGES = ("parse", "normalize", "rewrite", "compile", "optimize",
-                   "summary", "columnar")
+                   "summary", "columnar", "codegen")
 
 
 # -- compile-time metrics ------------------------------------------------------

@@ -39,6 +39,14 @@ class TreePatternAlgorithm:
 
     name = "abstract"
 
+    #: every algorithm materializes the per-tuple binding list before
+    #: returning from :meth:`evaluate` (the join's build side), so the
+    #: compiled backend (:mod:`repro.compiled`) treats each pattern
+    #: evaluation as a pipeline breaker: upstream tuples push one at a
+    #: time, the bindings materialize here, and downstream code resumes
+    #: per binding.
+    is_pipeline_breaker = True
+
     #: counters this algorithm's work is recorded into; ``None`` (the
     #: default) disables all counting so plain runs pay one ``is None``
     #: check per scan.

@@ -10,6 +10,11 @@ same executable baseline the curated differential suite uses).
 ``derandomize=True`` keeps the corpus fixed, so together the two fuzz
 tests are a seeded regression run of ≥ 200 query/document pairs, each
 checked across all 8 strategies.
+
+The compiled backend (:mod:`repro.compiled`) is held to the same bar:
+every golden query and every fuzz pair also runs under
+``backend="compiled"`` on *both* stores (object and mmap-opened
+columnar), byte-identical to the interpreted reference.
 """
 
 import atexit
@@ -55,6 +60,15 @@ def _assert_columnar_matches(name, query):
         assert got == reference, (
             f"columnar {strategy} diverged from the object store "
             f"on {query!r} ({name})")
+    for store, engines in (("object", _OBJECT_ENGINES),
+                           ("columnar", _COLUMNAR_ENGINES)):
+        for strategy in ALL_STRATEGIES:
+            got = render_results(engines[name].run(query,
+                                                   strategy=strategy,
+                                                   backend="compiled"))
+            assert got == reference, (
+                f"compiled backend ({strategy}, {store} store) diverged "
+                f"from the interpreted reference on {query!r} ({name})")
 
 
 class TestGoldenCorpusOnColumnar:
@@ -78,6 +92,28 @@ class TestGoldenCorpusOnColumnar:
     def test_documents_opened_from_disk(self):
         for engine in _COLUMNAR_ENGINES.values():
             assert engine.document.store_kind == "columnar"
+
+
+class TestGoldenCorpusCompiled:
+    """The compiled backend against the recorded golden bytes, on both
+    stores — byte-identity with the interpreted evaluator is transitive
+    through the pinned corpus."""
+
+    @pytest.mark.parametrize("store", ["object", "columnar"])
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("stem", sorted(_QUERIES))
+    def test_golden_bytes_compiled(self, stem, strategy, store):
+        engines = (_OBJECT_ENGINES if store == "object"
+                   else _COLUMNAR_ENGINES)
+        name = stem.split("_", 1)[0]
+        expected = (GOLDEN_DIR / f"{stem}.xml").read_text(
+            encoding="utf-8")
+        got = render_results(
+            engines[name].run(_QUERIES[stem], strategy=strategy,
+                              backend="compiled"))
+        assert got == expected, (
+            f"{stem} under {strategy} (compiled, {store}) drifted from "
+            f"the golden corpus")
 
 
 @given(query=qgen.member_queries())

@@ -184,6 +184,52 @@ class TestFallback:
         assert exc.value.kind == "wall"
         assert metrics.fallbacks == []
 
+    def test_codegen_failure_steps_to_interpreted(self, people_doc,
+                                                  monkeypatch):
+        """The compiled backend's fallback chain starts before the
+        strategy chain: codegen failure steps compiled→interpreted and
+        records it, without consuming a strategy retry."""
+        from repro.compiled import CodegenError
+        monkeypatch.setattr(
+            "repro.engine.compile_plan",
+            lambda plan: (_ for _ in ()).throw(CodegenError("forced")))
+        baseline = Engine(people_doc).run(QUERY)
+        engine = Engine(people_doc, backend="compiled")
+        metrics = ExecMetrics()
+        results = engine.execute(engine.compile(QUERY), metrics=metrics)
+        assert people_values(results) == people_values(baseline)
+        assert len(metrics.fallbacks) == 1
+        event = metrics.fallbacks[0]
+        assert event.from_strategy == "compiled"
+        assert event.error_code == "REPRO-CODEGEN"
+
+    def test_codegen_failure_falls_back_even_under_strict(self, people_doc,
+                                                          monkeypatch):
+        # The two backends are semantically identical, so strict mode
+        # (which pins the *strategy*) still allows this degradation.
+        from repro.compiled import CodegenError
+        monkeypatch.setattr(
+            "repro.engine.compile_plan",
+            lambda plan: (_ for _ in ()).throw(CodegenError("forced")))
+        baseline = Engine(people_doc).run(QUERY)
+        engine = Engine(people_doc, backend="compiled", strict=True)
+        assert people_values(engine.run(QUERY)) == people_values(baseline)
+
+    def test_codegen_fallback_visible_in_trace(self, people_doc,
+                                               monkeypatch):
+        from repro.compiled import CodegenError
+        monkeypatch.setattr(
+            "repro.engine.compile_plan",
+            lambda plan: (_ for _ in ()).throw(CodegenError("forced")))
+        from repro.trace import Tracer
+        engine = Engine(people_doc, backend="compiled")
+        traced = engine.run_traced(QUERY, tracer=Tracer())
+        assert [e.from_strategy for e in traced.fallbacks] == ["compiled"]
+        events = [attrs for span in traced.trace.spans
+                  for _, name, attrs in span.events if name == "fallback"]
+        assert any(attrs.get("from_strategy") == "compiled"
+                   for attrs in events)
+
     def test_step_trip_can_recover_on_cheaper_strategy(self, people_doc):
         # The streaming matcher charges a step per document event, more
         # than this budget; the item evaluator's per-operator charge
