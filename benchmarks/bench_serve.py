@@ -21,10 +21,12 @@ every success is byte-identical to the fault-free baseline.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import os
+from typing import List, Sequence, Tuple
 
-from repro.serve import (ChaosCell, LoadReport, QueryService,
-                         default_catalog, run_chaos_sweep, run_load)
+from repro.serve import (ChaosCell, ClusterService, ClusterStats,
+                         LoadReport, QueryService, default_catalog,
+                         run_chaos_sweep, run_load)
 
 CLIENT_LEVELS = (1, 2, 4, 8, 16)
 WORKERS = 4
@@ -121,7 +123,80 @@ def generate_chaos_table() -> str:
     return render_chaos_cells(run_chaos_grid())
 
 
+WORKER_LEVELS = (1, 2, 4, 8)
+CLUSTER_CLIENTS = 8
+CLUSTER_SHARDS = 4
+#: the multi-process speedup the scaling claim asserts at 4 workers —
+#: only meaningful when the machine actually has the cores.
+CLUSTER_SPEEDUP_FLOOR = 2.0
+
+
+def run_cluster_levels(
+        levels: Sequence[int] = WORKER_LEVELS,
+        shard_count: int = CLUSTER_SHARDS,
+        requests_per_client: int = REQUESTS_PER_CLIENT,
+        seed: int = SEED) -> List[Tuple[int, LoadReport, ClusterStats]]:
+    """E13: the same differentially-checked mixed load against the
+    multi-process sharded cluster at increasing worker counts."""
+    rows = []
+    for level in levels:
+        service = ClusterService.from_catalog(
+            default_catalog(seed=seed), workers=level,
+            shard_count=shard_count, queue_limit=QUEUE_LIMIT)
+        try:
+            report = run_load(service, concurrency=CLUSTER_CLIENTS,
+                              requests_per_client=requests_per_client,
+                              seed=seed)
+            stats = service.cluster_stats()
+        finally:
+            service.close()
+        if report.mismatches or report.errors:
+            raise AssertionError(
+                f"cluster run at {level} workers saw "
+                f"{report.mismatches} mismatches / {report.errors} "
+                f"errors:\n{report.report()}")
+        rows.append((level, report, stats))
+    return rows
+
+
+def render_cluster_rows(
+        rows: Sequence[Tuple[int, LoadReport, ClusterStats]]) -> str:
+    base_qps = rows[0][1].row()["qps"] if rows else 0.0
+    header = (f"{'workers':>8}{'qps':>10}{'speedup':>9}{'p50 ms':>10}"
+              f"{'p95 ms':>10}{'scattered':>11}{'whole':>7}")
+    lines = [f"process cluster, {CLUSTER_SHARDS} shards/document, "
+             f"{CLUSTER_CLIENTS} clients, seed {SEED} "
+             f"(host cores: {os.cpu_count()})",
+             header]
+    for level, report, stats in rows:
+        row = report.row()
+        speedup = row["qps"] / base_qps if base_qps else 0.0
+        lines.append(f"{level:>8}{row['qps']:>10.1f}{speedup:>9.2f}"
+                     f"{row['p50_ms']:>10.3f}{row['p95_ms']:>10.3f}"
+                     f"{stats.scattered:>11}{stats.whole_document:>7}")
+    by_level = {level: report for level, report, _stats in rows}
+    if 1 in by_level and 4 in by_level:
+        speedup = by_level[4].row()["qps"] / by_level[1].row()["qps"]
+        if (os.cpu_count() or 1) >= 4:
+            assert speedup >= CLUSTER_SPEEDUP_FLOOR, (
+                f"4-worker cluster reached only {speedup:.2f}x over one "
+                f"worker (floor {CLUSTER_SPEEDUP_FLOOR}x)")
+            lines.append(f"speedup at 4 workers: {speedup:.2f}x "
+                         f"(floor {CLUSTER_SPEEDUP_FLOOR}x: ok)")
+        else:
+            lines.append(f"speedup at 4 workers: {speedup:.2f}x "
+                         f"(floor not asserted: host has "
+                         f"{os.cpu_count()} cores)")
+    return "\n".join(lines)
+
+
+def generate_cluster_table() -> str:
+    return render_cluster_rows(run_cluster_levels())
+
+
 if __name__ == "__main__":
     print(generate_table())
     print()
     print(generate_chaos_table())
+    print()
+    print(generate_cluster_table())

@@ -53,6 +53,8 @@ def main() -> int:
          bench_serve.generate_chaos_table),
         ("Compiled backend (docs/PIPELINE.md, E12)",
          bench_compiled.generate_table),
+        ("Multi-process sharded cluster (docs/CLUSTER.md, E13)",
+         bench_serve.generate_cluster_table),
     ]
     for title, generate in sections:
         start = time.perf_counter()

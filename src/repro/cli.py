@@ -24,6 +24,7 @@ default ``--store auto``) later mmap-opens in O(1) without re-parsing.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -128,7 +129,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the concurrent query service with a seeded mixed "
              "load and report throughput/latency (see docs/SERVING.md)")
     serve_bench.add_argument("--workers", type=int, default=4,
-                             help="service worker threads (default: 4)")
+                             help="service worker threads — or worker "
+                                  "processes with --cluster (default: 4)")
+    serve_bench.add_argument("--cluster", action="store_true",
+                             help="serve from a multi-process sharded "
+                                  "cluster (repro.serve.cluster) instead "
+                                  "of the in-process thread pool; see "
+                                  "docs/CLUSTER.md")
+    serve_bench.add_argument("--shards", type=int, default=4,
+                             help="with --cluster, shards per document "
+                                  "(default: 4)")
     serve_bench.add_argument("--concurrency", type=int, default=8,
                              help="closed-loop client threads "
                                   "(default: 8)")
@@ -216,6 +226,23 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--stats", action="store_true",
                        help="print per-tag stream sizes next to the "
                             "summary line")
+
+    shard = commands.add_parser(
+        "shard",
+        help="split a document into subtree-closed columnar shards "
+             "plus a manifest, servable by the multi-process cluster "
+             "(see docs/CLUSTER.md)")
+    shard.add_argument("input",
+                       help="XML document file or saved .rpxc index")
+    shard.add_argument("--shards", type=int, default=4,
+                       help="shard count to aim for (default: 4; heavy "
+                            "skew may yield fewer)")
+    shard.add_argument("--output-dir", "-o", default=None, metavar="DIR",
+                       help="layout directory (default: the input's "
+                            "directory)")
+    shard.add_argument("--name", default=None,
+                       help="document name inside the layout "
+                            "(default: the input's stem)")
 
     generate = commands.add_parser(
         "generate", help="write a synthetic benchmark document")
@@ -377,9 +404,9 @@ def _command_visualize(args, out) -> int:
 
 def _command_serve_bench(args, out) -> int:
     from .guard import ChaosSpec, inject
-    from .serve import (BreakerPolicy, QueryService, RetryPolicy,
-                        default_catalog, mixed_workload, run_load,
-                        sequential_baseline)
+    from .serve import (BreakerPolicy, ClusterService, QueryService,
+                        RetryPolicy, default_catalog, mixed_workload,
+                        run_load, sequential_baseline)
     from .trace import (FlightRecorder, Tracer, write_chrome_trace,
                         write_prometheus)
     from .trace.recorder import DEFAULT_RECENT
@@ -395,13 +422,22 @@ def _command_serve_bench(args, out) -> int:
             # to the whole (bounded) bench workload.
             recent = max(recent, args.concurrency * args.requests)
         flight = FlightRecorder(recent=recent)
-    service = QueryService(
-        default_catalog(seed=args.seed),
-        workers=args.workers,
-        queue_limit=args.queue_limit,
-        tracer=tracer, flight_recorder=flight,
-        retry_policy=RetryPolicy() if args.retry else None,
-        breaker_policy=BreakerPolicy() if args.breaker else None)
+    if args.cluster:
+        service = ClusterService.from_catalog(
+            default_catalog(seed=args.seed),
+            workers=args.workers,
+            shard_count=args.shards,
+            queue_limit=args.queue_limit,
+            tracer=tracer, flight_recorder=flight,
+            breaker_policy=BreakerPolicy() if args.breaker else None)
+    else:
+        service = QueryService(
+            default_catalog(seed=args.seed),
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            tracer=tracer, flight_recorder=flight,
+            retry_policy=RetryPolicy() if args.retry else None,
+            breaker_policy=BreakerPolicy() if args.breaker else None)
     try:
         workload = mixed_workload(args.seed)
         # Baseline before any chaos: successes under injection must
@@ -424,16 +460,20 @@ def _command_serve_bench(args, out) -> int:
                               requests_per_client=args.requests,
                               seed=args.seed, timeout=args.timeout,
                               expected=expected)
-        health = service.health()
+        health = service.health() if not args.cluster else None
+        cluster_stats = service.cluster_stats() if args.cluster else None
     finally:
         service.close()
     print(report.report(), file=out)
+    if cluster_stats is not None:
+        print(cluster_stats.report(), file=out)
     if args.chaos_rate > 0:
         print(f"chaos      : site={args.chaos_site} "
               f"action={args.chaos_action} rate={args.chaos_rate} "
               f"retry={'on' if args.retry else 'off'} "
               f"breaker={'on' if args.breaker else 'off'}", file=out)
-        print(f"health     : {health.status}", file=out)
+        if health is not None:
+            print(f"health     : {health.status}", file=out)
     snapshot = service.flight_recorder()
     if snapshot is not None:
         print(f"tracing    : {snapshot.recorded} request traces "
@@ -451,7 +491,7 @@ def _command_serve_bench(args, out) -> int:
               f"to {args.flight_out}", file=out)
     if args.prom_out:
         write_prometheus(args.prom_out, metrics=service.metrics,
-                         tracer=tracer)
+                         tracer=tracer, cluster=cluster_stats)
         print(f"wrote Prometheus metrics to {args.prom_out}", file=out)
     if args.check:
         if args.chaos_rate > 0:
@@ -520,6 +560,40 @@ def _command_index(args, out) -> int:
     return 0
 
 
+def _command_shard(args, out) -> int:
+    import time as _time
+    from .xmltree import (ColumnarDocument, IndexedDocument,
+                          is_columnar_file, parse_xml_file)
+    from .xmltree.shard import ShardManifest, write_shard_layout
+
+    if is_columnar_file(args.input):
+        columns = ColumnarDocument.open(args.input)
+    else:
+        columns = IndexedDocument(parse_xml_file(args.input)).columns
+    name = args.name
+    if name is None:
+        name = os.path.splitext(os.path.basename(args.input))[0]
+    directory = args.output_dir or os.path.dirname(
+        os.path.abspath(args.input))
+    started = _time.perf_counter()
+    manifest_path = write_shard_layout(columns, directory, name,
+                                       args.shards)
+    elapsed = _time.perf_counter() - started
+    manifest = ShardManifest.load(manifest_path)
+    print(f"sharded {args.input}: {manifest.total_nodes} nodes -> "
+          f"{manifest.shard_count} shards (spine {manifest.spine_len}) "
+          f"in {elapsed * 1000:.1f} ms", file=out)
+    for index, file_name in enumerate(manifest.shard_files):
+        nodes = sum(run.length for run in manifest.runs_for(index))
+        size = os.path.getsize(os.path.join(directory, file_name))
+        print(f"  shard {index}: {nodes} nodes, {size} bytes "
+              f"({file_name})", file=out)
+    print(f"wrote manifest {manifest_path}", file=out)
+    print(f"serve it: ClusterService(ClusterLayout.load"
+          f"({directory!r}))", file=out)
+    return 0
+
+
 def _command_generate(args, out) -> int:
     if args.kind == "member":
         document = member_document(args.size, depth=args.depth or 4,
@@ -545,6 +619,7 @@ _COMMANDS = {
     "visualize": _command_visualize,
     "serve-bench": _command_serve_bench,
     "index": _command_index,
+    "shard": _command_shard,
     "generate": _command_generate,
 }
 

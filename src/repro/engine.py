@@ -218,6 +218,15 @@ class Engine:
         re-parse, no re-index (see :mod:`repro.xmltree.columnar`)."""
         return cls(IndexedDocument.open(path, verify=verify), **kwargs)
 
+    @classmethod
+    def from_columnar(cls, columns, **kwargs) -> "Engine":
+        """Build an engine directly over a
+        :class:`~repro.xmltree.columnar.ColumnarDocument` — the
+        shard-aware entry the cluster workers use: each worker wraps
+        its mmap-opened shard columns without touching the filesystem
+        layer again (see :mod:`repro.serve.cluster`)."""
+        return cls(IndexedDocument(columns=columns), **kwargs)
+
     # -- compilation ------------------------------------------------------------
 
     def compile(self, query: str, optimize: bool = True,

@@ -21,10 +21,12 @@ with ``strict=True`` re-raising instead.  See ``docs/ROBUSTNESS.md``.
 """
 
 from .chaos import (ChaosInjector, ChaosSpec, InjectedFault, KNOWN_SITES,
-                    active_injector, chaos_point, default_seed, inject)
+                    active_injector, chaos_point, default_seed, inject,
+                    worker_seed)
 from .errors import (AlgorithmError, CircuitOpen, DocumentQuarantined,
                      FallbackEvent, InputError, InternalError, ReproError,
-                     ServiceClosed, ServiceOverloaded, SourceSpan)
+                     ServiceClosed, ServiceOverloaded, SourceSpan,
+                     WorkerLost)
 from .governor import BudgetExceeded, Budgets, ResourceGovernor
 
 __all__ = [
@@ -32,6 +34,7 @@ __all__ = [
     "ChaosSpec", "CircuitOpen", "DocumentQuarantined", "FallbackEvent",
     "InjectedFault", "InputError", "InternalError", "KNOWN_SITES",
     "ReproError", "ResourceGovernor", "ServiceClosed",
-    "ServiceOverloaded", "SourceSpan",
+    "ServiceOverloaded", "SourceSpan", "WorkerLost",
     "active_injector", "chaos_point", "default_seed", "inject",
+    "worker_seed",
 ]

@@ -45,7 +45,8 @@ from typing import Any, Iterator, List, Optional, Tuple
 from .errors import InputError, ReproError
 
 __all__ = ["ChaosInjector", "ChaosSpec", "InjectedFault", "KNOWN_SITES",
-           "active_injector", "chaos_point", "default_seed", "inject"]
+           "active_injector", "chaos_point", "default_seed", "inject",
+           "worker_seed"]
 
 #: every chaos point wired into the stack.  The first block sits inside
 #: the physical operators; the second covers the serving and storage
@@ -64,6 +65,7 @@ KNOWN_SITES = (
     "serve.admit", "serve.execute", "serve.wake",
     "catalog.open",
     "columnar.read", "columnar.checksum",
+    "cluster.dispatch", "cluster.gather",
 )
 
 _ACTIONS = ("raise", "delay", "corrupt")
@@ -174,6 +176,17 @@ def default_seed() -> int:
         return int(os.environ.get("REPRO_CHAOS_SEED", "0"))
     except ValueError:
         return 0
+
+
+def worker_seed(base_seed: int, worker_index: int) -> int:
+    """The chaos seed for worker ``worker_index`` of a cluster pool.
+
+    Derived as ``base_seed + worker_index`` so a single
+    ``REPRO_CHAOS_SEED`` pins the whole pool's fire sequences while
+    each worker still draws an independent stream — sweeps over the
+    base seed stay reproducible across the pool (see
+    :mod:`repro.serve.cluster`)."""
+    return base_seed + worker_index
 
 
 @contextmanager

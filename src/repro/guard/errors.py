@@ -32,7 +32,7 @@ from typing import Any, ClassVar, Dict, Optional
 __all__ = [
     "AlgorithmError", "CircuitOpen", "DocumentQuarantined",
     "FallbackEvent", "InputError", "InternalError", "ReproError",
-    "ServiceClosed", "ServiceOverloaded", "SourceSpan",
+    "ServiceClosed", "ServiceOverloaded", "SourceSpan", "WorkerLost",
 ]
 
 #: longest source line rendered verbatim in a caret snippet; longer
@@ -128,6 +128,30 @@ class ReproError(ValueError):
         head += f" (line {self.span.line}, column {self.span.column})"
         return f"{head}\n{self.span.caret_snippet()}"
 
+    def __reduce__(self):
+        # The default BaseException reduction rebuilds via
+        # ``cls(*args)`` with ``args == (message,)``, which breaks for
+        # every subclass whose __init__ takes extra required
+        # positionals (e.g. BudgetExceeded(kind, limit, observed)).
+        # Rebuild structurally instead: allocate without __init__, then
+        # restore args and the instance dict — code, span, context and
+        # subclass attributes all live there, so the round trip is
+        # exact.  __cause__/__traceback__ are process-local and are
+        # deliberately not carried (same as default exception
+        # pickling); the serving layer's wire errors stay
+        # self-contained.
+        return (_rebuild_error, (type(self), self.args,
+                                 dict(self.__dict__)))
+
+
+def _rebuild_error(cls, args, state):
+    """Pickle reconstructor for :class:`ReproError` (module-level so it
+    is itself picklable by reference)."""
+    err = cls.__new__(cls)
+    ValueError.__init__(err, *args)
+    err.__dict__.update(state)
+    return err
+
 
 class InputError(ReproError):
     """Invalid caller-supplied input: empty query text, an unknown
@@ -213,6 +237,23 @@ class DocumentQuarantined(ReproError):
         super().__init__(message, document=document, path=path, **context)
         self.document = document
         self.path = path
+
+
+class WorkerLost(ReproError):
+    """A cluster worker process died (or its pipe broke) while tasks
+    were in flight (see :mod:`repro.serve.cluster`).
+
+    The coordinator re-dispatches lost shard tasks once to another
+    worker; this error reaches the caller only when no retry was
+    possible (the pool is closing, the deadline passed, or the retry
+    failed too).  ``worker_index`` identifies the dead worker."""
+
+    code = "REPRO-CLUSTER-WORKER-LOST"
+
+    def __init__(self, message: str, *, worker_index: int = -1,
+                 **context: Any) -> None:
+        super().__init__(message, worker_index=worker_index, **context)
+        self.worker_index = worker_index
 
 
 class InternalError(ReproError):

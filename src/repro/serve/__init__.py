@@ -24,7 +24,13 @@ XQuery engine.  This package supplies that engine-around-the-engine:
   (:class:`BreakerPolicy` / :class:`CircuitBreaker`), health tracking
   (:class:`HealthTracker`, ``QueryService.health()``) and the
   degraded-mode emptiness prover; the catalog quarantines documents
-  whose load hits a storage failure (:class:`QuarantineRecord`).
+  whose load hits a storage failure (:class:`QuarantineRecord`);
+* :mod:`repro.serve.cluster` — **multi-process sharded serving**:
+  :class:`ClusterService` scatter-gathers shardable queries over a pool
+  of worker processes (:mod:`repro.serve.worker`), each mmap-sharing
+  the same saved columnar shards (:mod:`repro.xmltree.shard`), with
+  per-worker circuit breakers, dead-worker respawn and optional partial
+  answers (``QueryResponse.partial``).
 
 See ``docs/SERVING.md`` for the architecture and tuning knobs and
 ``docs/ROBUSTNESS.md`` for the failure-handling contract.
@@ -33,6 +39,8 @@ See ``docs/SERVING.md`` for the architecture and tuning knobs and
 from ..guard import CircuitOpen, DocumentQuarantined, ServiceClosed, \
     ServiceOverloaded
 from .catalog import DocumentCatalog, QuarantineRecord
+from .cluster import (ClusterLayout, ClusterService, ClusterStats,
+                      WorkerStats, merge_shard_results, scatter_plan)
 from .loadgen import (ChaosCell, LoadReport, default_catalog,
                       mixed_workload, run_chaos_cell, run_chaos_sweep,
                       run_load, sequential_baseline)
@@ -44,11 +52,12 @@ from .service import (PendingQuery, QueryRequest, QueryResponse,
 
 __all__ = [
     "BreakerPolicy", "ChaosCell", "CircuitBreaker", "CircuitOpen",
+    "ClusterLayout", "ClusterService", "ClusterStats",
     "DocumentCatalog", "DocumentHealth", "DocumentQuarantined",
     "HealthTracker", "LatencyHistogram", "LoadReport", "PendingQuery",
     "QuarantineRecord", "QueryRequest", "QueryResponse", "QueryService",
     "RetryPolicy", "ServiceClosed", "ServiceHealth", "ServiceMetrics",
-    "ServiceOverloaded", "ServiceStats", "default_catalog", "mixed_workload",
-    "run_chaos_cell", "run_chaos_sweep", "run_load",
-    "sequential_baseline",
+    "ServiceOverloaded", "ServiceStats", "WorkerStats", "default_catalog",
+    "merge_shard_results", "mixed_workload", "run_chaos_cell",
+    "run_chaos_sweep", "run_load", "scatter_plan", "sequential_baseline",
 ]

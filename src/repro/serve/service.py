@@ -120,6 +120,12 @@ class QueryResponse:
     #: was open and the summary proved the result empty (the ``[]`` is
     #: still byte-identical to a full evaluation).
     degraded: bool = False
+    #: True when this is a *partial* scatter-gather answer: some shards
+    #: of a clustered execution failed and the coordinator merged the
+    #: ones that succeeded (see :mod:`repro.serve.cluster`,
+    #: ``allow_partial=True``).  Always False on a single-process
+    #: service.
+    partial: bool = False
 
     @property
     def ok(self) -> bool:

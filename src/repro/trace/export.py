@@ -175,21 +175,38 @@ class _PromWriter:
                 label_text = "{" + rendered + "}"
             self.lines.append(f"{name}{label_text} {_format_value(value)}")
 
-    def histogram(self, name: str, help_text: str, histogram) -> None:
+    def histogram(self, name: str, help_text: str, histogram,
+                  labels: Optional[Dict[str, str]] = None,
+                  declare: bool = True) -> None:
         """Emit a LatencyHistogram-shaped object (``BOUNDS``, ``counts``,
-        ``count``, ``total``) as a Prometheus cumulative histogram."""
-        self.lines.append(f"# HELP {name} {help_text}")
-        self.lines.append(f"# TYPE {name} histogram")
+        ``count``, ``total``) as a Prometheus cumulative histogram.
+        ``labels`` are added to every sample; set ``declare=False`` when
+        appending a second labelled series to an already-declared
+        family."""
+        if declare:
+            self.lines.append(f"# HELP {name} {help_text}")
+            self.lines.append(f"# TYPE {name} histogram")
+
+        def render(extra: Dict[str, str]) -> str:
+            merged = dict(labels or {})
+            merged.update(extra)
+            if not merged:
+                return ""
+            return "{" + ",".join(
+                f'{key}="{_escape_label(str(text))}"'
+                for key, text in merged.items()) + "}"
+
         cumulative = 0
         for bound, bucket in zip(histogram.BOUNDS, histogram.counts):
             cumulative += bucket
             self.lines.append(
-                f'{name}_bucket{{le="{_format_value(bound)}"}} '
-                f"{cumulative}")
+                f"{name}_bucket"
+                f"{render({'le': _format_value(bound)})} {cumulative}")
         self.lines.append(
-            f'{name}_bucket{{le="+Inf"}} {histogram.count}')
-        self.lines.append(f"{name}_sum {_format_value(histogram.total)}")
-        self.lines.append(f"{name}_count {histogram.count}")
+            f"{name}_bucket{render({'le': '+Inf'})} {histogram.count}")
+        self.lines.append(
+            f"{name}_sum{render({})} {_format_value(histogram.total)}")
+        self.lines.append(f"{name}_count{render({})} {histogram.count}")
 
     def text(self) -> str:
         return "\n".join(self.lines) + "\n"
@@ -201,13 +218,17 @@ def _escape_label(value: str) -> str:
 
 
 def prometheus_text(metrics: Optional[Any] = None,
-                    tracer: Optional[Tracer] = None) -> str:
+                    tracer: Optional[Tracer] = None,
+                    cluster: Optional[Any] = None) -> str:
     """Service metrics + tracer aggregates as Prometheus text format.
 
     ``metrics`` is duck-typed (avoids importing :mod:`repro.serve`):
     anything with ``stats() -> ServiceStats``-like and
     ``snapshot_histograms() -> (latency, queue_wait)`` works —
-    :class:`repro.serve.ServiceMetrics` provides both.
+    :class:`repro.serve.ServiceMetrics` provides both.  ``cluster`` is
+    likewise duck-typed over :class:`repro.serve.ClusterStats` (from
+    ``ClusterService.cluster_stats()``) and adds the per-worker and
+    per-shard ``repro_cluster_*`` series.
     """
     writer = _PromWriter()
     if metrics is not None:
@@ -262,6 +283,47 @@ def prometheus_text(metrics: Optional[Any] = None,
                       "Total seconds spent in spans, by span name.",
                       [({"span": name}, seconds)
                        for name, (_count, seconds) in span_totals])
+    if cluster is not None:
+        for field_name, help_text in (
+                ("dispatched", "Shard tasks dispatched, by worker."),
+                ("completed", "Shard tasks completed, by worker."),
+                ("failed", "Shard tasks failed, by worker.")):
+            writer.metric(
+                f"repro_cluster_tasks_{field_name}_total", "counter",
+                help_text,
+                [({"worker": str(worker.index)},
+                  getattr(worker, field_name))
+                 for worker in cluster.workers])
+        writer.metric("repro_cluster_worker_up", "gauge",
+                      "1 when the worker process is alive.",
+                      [({"worker": str(worker.index)},
+                        1 if worker.alive else 0)
+                       for worker in cluster.workers])
+        writer.metric("repro_cluster_worker_queue_depth", "gauge",
+                      "Tasks in flight on the worker.",
+                      [({"worker": str(worker.index)}, worker.queue_depth)
+                       for worker in cluster.workers])
+        writer.metric("repro_cluster_respawns_total", "counter",
+                      "Dead workers replaced by the coordinator.",
+                      [(None, cluster.respawns)])
+        writer.metric("repro_cluster_partial_responses_total", "counter",
+                      "Scatter answers merged from a strict subset of "
+                      "shards.",
+                      [(None, cluster.partials)])
+        writer.metric("repro_cluster_requests_total", "counter",
+                      "Requests by execution mode.",
+                      [({"mode": "scattered"}, cluster.scattered),
+                       ({"mode": "whole_document"},
+                        cluster.whole_document)])
+        for position, key in enumerate(sorted(cluster.shard_latency)):
+            document, _, shard = key.rpartition("/")
+            writer.histogram(
+                "repro_cluster_shard_latency_seconds",
+                "Worker-measured shard execution seconds.",
+                cluster.shard_latency[key],
+                labels={"document": document,
+                        "shard": "whole" if shard == "-1" else shard},
+                declare=position == 0)
     return writer.text()
 
 
@@ -306,8 +368,9 @@ def validate_prometheus(text: str) -> None:
 
 
 def write_prometheus(path: str, metrics: Optional[Any] = None,
-                     tracer: Optional[Tracer] = None) -> str:
-    text = prometheus_text(metrics, tracer)
+                     tracer: Optional[Tracer] = None,
+                     cluster: Optional[Any] = None) -> str:
+    text = prometheus_text(metrics, tracer, cluster)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     return text

@@ -12,6 +12,8 @@ from .nodetest import (ANY_ELEMENT, ANY_NODE, AnyKindTest, ElementTest,
                        NameTest, NodeTest, TextTest, WildcardTest, name_test)
 from .parser import XMLSyntaxError, parse_xml, parse_xml_file
 from .serializer import serialize
+from .shard import (DocumentShard, ShardManifest, ShardRun, split_document,
+                    write_shard_layout)
 from .summary import PathStats, PathSummary, SUMMARY_AXES
 
 __all__ = [
@@ -26,5 +28,7 @@ __all__ = [
     "NodeTest", "TextTest", "WildcardTest", "name_test",
     "XMLSyntaxError", "parse_xml", "parse_xml_file",
     "serialize",
+    "DocumentShard", "ShardManifest", "ShardRun", "split_document",
+    "write_shard_layout",
     "PathStats", "PathSummary", "SUMMARY_AXES",
 ]

@@ -1,0 +1,152 @@
+"""Fault injection at the cluster coordinator sites and in workers.
+
+The contract extends :mod:`tests.chaos.test_chaos_serve` across the
+process boundary:
+
+* faults at ``cluster.dispatch`` / ``cluster.gather`` produce **typed**
+  failures (or, with ``allow_partial=True``, a degraded merged answer
+  flagged ``partial=True``) — never a bare error, never a corrupt
+  merge;
+* chaos shipped to worker processes is **deterministic per worker**:
+  seed ``base + worker_index`` (:func:`repro.guard.worker_seed`), so a
+  pool-wide fire sequence reproduces from one recorded seed;
+* successes under injection stay byte-identical to the fault-free
+  baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import xmark_document
+from repro.guard import (ChaosInjector, ChaosSpec, InjectedFault,
+                         ReproError, inject, worker_seed)
+from repro.serve import ClusterLayout, ClusterService, QueryRequest
+
+QUERY = "$input//person/name"
+
+
+@pytest.fixture(scope="module")
+def layout(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("chaos-cluster")
+    return ClusterLayout.build(
+        {"xmark": xmark_document(30, seed=5).columns}, str(directory), 3)
+
+
+@pytest.fixture(scope="module")
+def expected(layout):
+    with ClusterService(layout, workers=1, transport="inline") as service:
+        return [item.pre for item in service.query("xmark", QUERY)]
+
+
+def run_one(service, timeout=60.0):
+    return service.submit(QueryRequest(document="xmark",
+                                       query=QUERY)).response(timeout)
+
+
+@pytest.mark.parametrize("site", ["cluster.dispatch", "cluster.gather"])
+def test_coordinator_fault_is_typed(layout, expected, site):
+    with ClusterService(layout, workers=2, transport="inline") as service:
+        with inject(ChaosSpec(site=site, rate=1.0), seed=3):
+            response = run_one(service)
+        assert response.error is not None
+        assert isinstance(response.error, ReproError)
+        assert response.error.code.startswith("REPRO-")
+        # The failure is contained: the next fault-free request answers
+        # byte-identically on the same pool.
+        assert [item.pre for item in run_one(service).results] == expected
+
+
+@pytest.mark.parametrize("site", ["cluster.dispatch", "cluster.gather"])
+def test_partial_rate_typed_or_identical(layout, expected, site):
+    """At rate 0.5 some shards fail, some succeed: every outcome is a
+    typed error or the exact baseline answer."""
+    with ClusterService(layout, workers=2, transport="inline") as service:
+        with inject(ChaosSpec(site=site, rate=0.5), seed=11):
+            for _ in range(10):
+                response = run_one(service)
+                if response.error is not None:
+                    assert isinstance(response.error, ReproError)
+                else:
+                    got = [item.pre for item in response.results]
+                    assert got == expected
+
+
+def test_allow_partial_merges_surviving_shards(layout, expected):
+    with ClusterService(layout, workers=2, transport="inline",
+                        allow_partial=True) as service:
+        saw_partial = False
+        with inject(ChaosSpec(site="cluster.gather", rate=0.4), seed=7):
+            for _ in range(15):
+                response = run_one(service)
+                if response.error is not None:
+                    assert isinstance(response.error, ReproError)
+                    continue
+                got = [item.pre for item in response.results]
+                if response.partial:
+                    saw_partial = True
+                    # A correctly ordered subset of the answer (equal
+                    # when the lost shard held no matches).
+                    assert set(got) <= set(expected)
+                    assert got == [pre for pre in expected
+                                   if pre in set(got)]
+                else:
+                    assert got == expected
+        assert saw_partial, "rate 0.4 over 15 runs never went partial"
+        assert service.cluster_stats().partials >= 1
+
+
+def test_delay_never_corrupts(layout, expected):
+    with ClusterService(layout, workers=2, transport="inline") as service:
+        with inject(ChaosSpec(site="cluster.dispatch", action="delay",
+                              rate=1.0, delay_seconds=0.01), seed=2):
+            response = run_one(service)
+        assert response.error is None
+        assert [item.pre for item in response.results] == expected
+
+
+def test_worker_seed_derivation():
+    assert worker_seed(100, 0) == 100
+    assert worker_seed(100, 3) == 103
+    # Distinct workers draw distinct fire sequences from one base seed;
+    # the same worker index reproduces its sequence exactly.
+    spec = ChaosSpec(site="cluster.dispatch", rate=0.5)
+
+    def fire_sequence(index):
+        injector = ChaosInjector(spec, seed=worker_seed(42, index))
+        sequence = []
+        for _ in range(64):
+            try:
+                injector.visit("cluster.dispatch")
+                sequence.append(False)
+            except InjectedFault:
+                sequence.append(True)
+        return sequence
+
+    assert fire_sequence(0) == fire_sequence(0)
+    assert fire_sequence(0) != fire_sequence(1)
+
+
+def test_worker_process_chaos_is_deterministic(layout):
+    """The same (spec, seed) config shipped to real worker processes
+    yields the same per-request outcome sequence, run after run."""
+
+    def outcomes():
+        service = ClusterService(
+            layout, workers=2,
+            chaos_specs=(ChaosSpec(site="eval.ttp", rate=0.3),),
+            chaos_seed=99)
+        try:
+            sequence = []
+            for _ in range(6):
+                response = run_one(service, timeout=60.0)
+                if response.error is None:
+                    sequence.append("ok")
+                else:
+                    assert isinstance(response.error, ReproError)
+                    sequence.append(response.error.code)
+            return sequence
+        finally:
+            service.close()
+
+    assert outcomes() == outcomes()

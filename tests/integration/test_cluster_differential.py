@@ -1,0 +1,52 @@
+"""Golden corpus through a *real* 4-worker process cluster.
+
+The property suite proves scatter-gather correctness on the inline
+transport; this suite repeats the corpus over actual subprocesses —
+pipes, pickled frames, mmap-opened shards — and pins the answers to the
+recorded golden bytes, so a protocol or remapping bug that only
+manifests across the process boundary cannot hide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import member_document, xmark_document
+from repro.serve import ClusterLayout, ClusterService
+
+from tests.support.make_golden import (GOLDEN_DIR, golden_queries,
+                                       render_results)
+
+_QUERIES = golden_queries()
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cluster-diff")
+    layout = ClusterLayout.build(
+        {"member": member_document(600, depth=5, tag_count=4,
+                                   seed=7).columns,
+         "xmark": xmark_document(40, seed=11).columns},
+        str(directory), 4)
+    service = ClusterService(layout, workers=4)
+    yield service
+    service.close()
+
+
+@pytest.mark.parametrize("stem", sorted(_QUERIES))
+def test_golden_bytes_through_processes(cluster, stem):
+    document = stem.split("_", 1)[0]
+    expected = (GOLDEN_DIR / f"{stem}.xml").read_text(encoding="utf-8")
+    got = render_results(cluster.query(document, _QUERIES[stem],
+                                       timeout=120.0))
+    assert got == expected, (
+        f"{stem} through the process cluster drifted from the golden "
+        f"corpus")
+
+
+def test_both_modes_exercised(cluster):
+    stats = cluster.cluster_stats()
+    assert stats.scattered > 0, "no query scattered — planner too strict"
+    assert stats.whole_document > 0, "every query scattered — suspicious"
+    assert all(worker.alive for worker in stats.workers)
+    assert sum(worker.completed for worker in stats.workers) > 0

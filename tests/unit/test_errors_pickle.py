@@ -1,0 +1,145 @@
+"""Every typed error crosses the process boundary intact.
+
+The cluster coordinator receives worker failures as **pickled**
+exceptions (see :mod:`repro.serve.worker`), so every member of the
+:class:`~repro.guard.ReproError` taxonomy must survive a pickle
+round-trip with its code, message, span and machine-readable context —
+the default :class:`BaseException` reduction re-calls ``cls(message)``
+and silently drops custom constructor state, which is exactly the bug
+``ReproError.__reduce__`` exists to prevent.
+
+The walk is reflexive: it enumerates ``ReproError.__subclasses__()``
+transitively after importing the whole package, so a future error class
+with a pickle-hostile constructor fails here the day it is added.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pickle
+
+import pytest
+
+import repro.compiled.codegen  # noqa: F401  (register subclasses)
+import repro.serve  # noqa: F401
+from repro.guard import (BudgetExceeded, FallbackEvent, ReproError,
+                         ServiceOverloaded, SourceSpan, WorkerLost)
+from repro.serve.metrics import ServiceMetrics
+
+_SAMPLES = {
+    str: "sample",
+    int: 3,
+    float: 1.5,
+    bool: True,
+}
+
+
+def _all_error_classes():
+    seen = []
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        seen.append(cls)
+        stack.extend(cls.__subclasses__())
+    return sorted(seen, key=lambda cls: cls.__name__)
+
+
+def _sample_for(parameter: inspect.Parameter):
+    annotation = parameter.annotation
+    for kind, value in _SAMPLES.items():
+        if annotation is kind or f"{kind.__name__}" == str(annotation) \
+                or f"Optional[{kind.__name__}]" in str(annotation):
+            return value
+    if "message" in parameter.name or parameter.name in ("kind",):
+        return "sample"
+    return "sample"
+
+
+def _build(cls) -> ReproError:
+    """Instantiate ``cls`` from its signature with sample values for
+    every required parameter."""
+    signature = inspect.signature(cls.__init__)
+    args = []
+    kwargs = {}
+    for name, parameter in signature.parameters.items():
+        if name == "self" or parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD):
+            continue
+        if parameter.default is not inspect.Parameter.empty:
+            continue
+        value = _sample_for(parameter)
+        if parameter.kind is inspect.Parameter.KEYWORD_ONLY:
+            kwargs[name] = value
+        else:
+            args.append(value)
+    return cls(*args, **kwargs)
+
+
+CLASSES = _all_error_classes()
+
+
+def test_taxonomy_is_populated():
+    names = {cls.__name__ for cls in CLASSES}
+    assert {"ReproError", "BudgetExceeded", "StorageError",
+            "ServiceOverloaded", "WorkerLost", "InjectedFault",
+            "XQuerySyntaxError"} <= names
+
+
+@pytest.mark.parametrize("cls", CLASSES,
+                         ids=[cls.__name__ for cls in CLASSES])
+def test_error_pickle_round_trip(cls):
+    error = _build(cls)
+    error.span = SourceSpan.from_offset("let $x := 1 return $x", 4)
+    error.context["probe"] = 42
+    clone = pickle.loads(pickle.dumps(error,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+    assert type(clone) is cls
+    assert clone.code == error.code
+    assert clone.message == error.message
+    assert str(clone) == str(error)
+    assert clone.span == error.span
+    assert clone.context == error.context
+    # Every public instance attribute survives, not just the base ones
+    # (e.g. BudgetExceeded.limit, WorkerLost.worker_index).
+    assert clone.__dict__ == error.__dict__
+
+
+def test_budget_exceeded_keeps_constructor_state():
+    error = BudgetExceeded("wall", 0.5, 0.75, elapsed_seconds=0.75,
+                           steps=99)
+    clone = pickle.loads(pickle.dumps(error))
+    assert (clone.kind, clone.limit, clone.observed) == ("wall", 0.5, 0.75)
+    assert clone.elapsed_seconds == 0.75 and clone.steps == 99
+    assert clone.code == "REPRO-BUDGET-WALL"
+
+
+def test_worker_lost_round_trip():
+    error = WorkerLost("worker 2 died", worker_index=2)
+    clone = pickle.loads(pickle.dumps(error))
+    assert clone.worker_index == 2
+    assert clone.code == "REPRO-CLUSTER-WORKER-LOST"
+
+
+def test_instance_code_override_survives():
+    error = ReproError("flattened", code="REPRO-CUSTOM")
+    clone = pickle.loads(pickle.dumps(error))
+    assert clone.code == "REPRO-CUSTOM"
+
+
+def test_fallback_event_round_trip():
+    event = FallbackEvent(from_strategy="twigjoin", to_strategy="nljoin",
+                          error_code="REPRO-BUDGET-WALL",
+                          error="wall budget exceeded")
+    assert pickle.loads(pickle.dumps(event)) == event
+
+
+def test_service_stats_round_trip():
+    metrics = ServiceMetrics()
+    metrics.record_submitted()
+    metrics.record_accepted()
+    metrics.record_done(latency_seconds=0.01, queue_seconds=0.001,
+                        failed=False)
+    stats = metrics.stats(queue_depth=1, in_flight=2)
+    clone = pickle.loads(pickle.dumps(stats))
+    assert clone == stats

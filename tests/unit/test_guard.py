@@ -219,4 +219,4 @@ class TestChaos:
         prefixes = {site.split(".")[0] for site in KNOWN_SITES}
         assert prefixes == {"eval", "nljoin", "twigjoin", "scjoin",
                             "stacktree", "streaming", "auto", "cost",
-                            "serve", "catalog", "columnar"}
+                            "serve", "catalog", "columnar", "cluster"}
