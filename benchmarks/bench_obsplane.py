@@ -1,0 +1,159 @@
+"""E14 — distributed-tracing overhead on the cluster path
+(docs/OBSPLANE.md).
+
+Times a scattered cluster request three ways on an inline-transport
+cluster (same frame codec and worker code as subprocesses, none of the
+pipe-scheduling noise):
+
+* **untraced** — no tracer on the coordinator: no context rides the
+  task frames, workers never touch their tracers;
+* **disabled** — a ``Tracer(enabled=False)`` wired in: ``begin``
+  returns ``None``, so no context is attached and the request must run
+  at untraced speed.  This is the price of *having* the telemetry
+  plane compiled in but switched off — it must sit within timing
+  noise;
+* **traced** — full distributed capture: context propagation, a live
+  worker trace per shard task, span-buffer packing onto the result
+  frame, and coordinator-side stitching (graft + op-stat merge).
+
+The traced budget is per-request: stitched capture adds a bounded
+constant per shard task (worker trace + ``pack_trace`` + graft, all
+linear in span count) on top of E9's per-span cost.  Assertions mirror
+``bench_trace.check_overheads``: ratio once requests do real work, an
+absolute floor so scaled-down CI documents don't demand sub-noise
+timings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.bench import scaled, time_call
+from repro.data import xmark_document
+from repro.serve import ClusterLayout, ClusterService
+from repro.trace import FlightRecorder, Tracer
+
+#: XMark person count at scale 1.0 (document scatters into 4 shards).
+BASE_PERSONS = 60
+
+#: the scattered request under test.
+QUERY = "$input//person/name"
+
+#: requests per timed batch; per-request numbers divide by this.
+REQUESTS = 8
+
+REPEATS = 5
+
+#: disabled-mode aggregate must sit within timing noise of untraced.
+DISABLED_TOLERANCE = 0.10
+
+#: absolute floor per request for the disabled mode: one ``begin``
+#: call returning ``None`` plus one ``is None`` test per task.
+DISABLED_FLOOR_SECONDS = 100e-6
+
+#: full distributed capture may cost this fraction of untraced time.
+TRACED_TOLERANCE = 0.30
+
+#: absolute per-request floor for the traced mode: a worker trace per
+#: shard (~20 spans each), wire packing, grafting and op-stat merging
+#: are all pure-Python constants dominated by span capture (E9 measures
+#: ~4 us per span; a scattered request stitches ~60–80 spans).
+TRACED_FLOOR_SECONDS = 4e-3
+
+
+def _build(directory: str, persons: int, tracer: Optional[Tracer],
+           flight: Optional[FlightRecorder]) -> ClusterService:
+    layout = ClusterLayout.build(
+        {"xmark": xmark_document(persons, seed=20070415).columns},
+        directory, 4)
+    return ClusterService(layout, workers=4, transport="inline",
+                          tracer=tracer, flight_recorder=flight)
+
+
+def measure(persons: Optional[int] = None,
+            repeats: int = REPEATS) -> Dict[str, float]:
+    """Best-of-N seconds per batch of ``REQUESTS`` scattered requests,
+    one entry per mode, plus the stitched span count."""
+    import tempfile
+
+    persons = persons or scaled(BASE_PERSONS, minimum=12)
+    results: Dict[str, float] = {}
+    modes: Dict[str, Callable[[], Optional[Tracer]]] = {
+        "untraced": lambda: None,
+        "disabled": lambda: Tracer(enabled=False),
+        "traced": lambda: Tracer(),
+    }
+    for mode, make_tracer in modes.items():
+        with tempfile.TemporaryDirectory() as directory:
+            tracer = make_tracer()
+            flight = FlightRecorder() if mode == "traced" else None
+            service = _build(directory, persons, tracer, flight)
+            try:
+                # Warm the per-worker engine caches out of the timing.
+                service.query("xmark", QUERY, timeout=120.0)
+
+                def batch() -> None:
+                    for _ in range(REQUESTS):
+                        service.query("xmark", QUERY, timeout=120.0)
+
+                results[mode] = time_call(batch, repeats=repeats)
+                if mode == "traced":
+                    trace = service.flight_recorder().recent[-1].trace
+                    results["spans"] = float(len(trace.spans))
+            finally:
+                service.close()
+    return results
+
+
+def check_overheads(results: Dict[str, float]) -> Dict[str, float]:
+    """Assert the per-request overhead budget; return the ratios."""
+    untraced = results["untraced"]
+    disabled_extra = results["disabled"] - untraced
+    traced_extra = results["traced"] - untraced
+    disabled_budget = max(DISABLED_TOLERANCE * untraced,
+                          DISABLED_FLOOR_SECONDS * REQUESTS)
+    traced_budget = max(TRACED_TOLERANCE * untraced,
+                        TRACED_FLOOR_SECONDS * REQUESTS)
+    assert disabled_extra <= disabled_budget, (
+        f"disabled distributed tracing costs "
+        f"{disabled_extra / REQUESTS * 1e6:.0f} us per request over "
+        f"baseline (budget {disabled_budget / REQUESTS * 1e6:.0f} us) "
+        f"— the no-context fast path is no longer free")
+    assert traced_extra <= traced_budget, (
+        f"distributed capture costs "
+        f"{traced_extra / REQUESTS * 1e6:.0f} us per request over "
+        f"baseline (budget {traced_budget / REQUESTS * 1e6:.0f} us)")
+    return {"disabled": disabled_extra / untraced,
+            "traced": traced_extra / untraced}
+
+
+def render(results: Dict[str, float], ratios: Dict[str, float]) -> str:
+    per_request = {mode: results[mode] / REQUESTS
+                   for mode in ("untraced", "disabled", "traced")}
+    lines = [
+        f"Distributed tracing on a 4-shard inline cluster "
+        f"({QUERY!r}, best of {REPEATS}, {REQUESTS} requests/batch)",
+        f"{'mode':>10}{'s/request':>12}{'vs untraced':>13}",
+    ]
+    for mode in ("untraced", "disabled", "traced"):
+        delta = per_request[mode] - per_request["untraced"]
+        lines.append(f"{mode:>10}{per_request[mode]:>12.6f}"
+                     f"{delta * 1e3:>+11.3f}ms")
+    lines.append(
+        f"stitched spans/request: {results.get('spans', 0):.0f}; "
+        f"aggregate: disabled {ratios['disabled']:+.1%}, traced "
+        f"{ratios['traced']:+.1%} of baseline (budgets "
+        f"{DISABLED_TOLERANCE:.0%}/{DISABLED_FLOOR_SECONDS * 1e6:.0f}us"
+        f" and {TRACED_TOLERANCE:.0%}/"
+        f"{TRACED_FLOOR_SECONDS * 1e3:.0f}ms per request)")
+    return "\n".join(lines)
+
+
+def generate_table() -> str:
+    results = measure()
+    ratios = check_overheads(results)
+    return render(results, ratios)
+
+
+if __name__ == "__main__":
+    print(generate_table())

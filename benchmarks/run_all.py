@@ -19,6 +19,7 @@ import bench_compiled
 import bench_extensions
 import bench_figure4
 import bench_figure6
+import bench_obsplane
 import bench_selective
 import bench_serve
 import bench_table1
@@ -55,6 +56,8 @@ def main() -> int:
          bench_compiled.generate_table),
         ("Multi-process sharded cluster (docs/CLUSTER.md, E13)",
          bench_serve.generate_cluster_table),
+        ("Distributed telemetry plane (docs/OBSPLANE.md, E14)",
+         bench_obsplane.generate_table),
     ]
     for title, generate in sections:
         start = time.perf_counter()

@@ -10,6 +10,8 @@
     python -m repro index site.xml -o site.rpxc --verify
     python -m repro query "$input//person/name" --doc site.rpxc
     python -m repro serve-bench --workers 4 --concurrency 8
+    python -m repro serve-bench --cluster --http --http-port 9464
+    python -m repro top --url http://127.0.0.1:9464
 
 ``query`` evaluates against a document (``--doc``, or a built-in sample
 when omitted) and prints the result sequence.  ``explain`` shows every
@@ -18,7 +20,9 @@ query.  ``generate`` writes a MemBeR-style or XMark-style document.
 ``index`` saves a document's columnar index, which ``--doc`` (with the
 default ``--store auto``) later mmap-opens in O(1) without re-parsing.
 ``serve-bench`` load-tests the concurrent query service
-(:mod:`repro.serve`) with a seeded mixed workload.
+(:mod:`repro.serve`) with a seeded mixed workload; ``--http`` mounts
+the live observability endpoint on it, and ``top`` is the matching
+refreshing ops console (see docs/OBSPLANE.md).
 """
 
 from __future__ import annotations
@@ -208,6 +212,41 @@ def build_parser() -> argparse.ArgumentParser:
                              help="with --check and --chaos-rate > 0, "
                                   "fail below this success fraction "
                                   "(default: 0.99)")
+    serve_bench.add_argument("--http", action="store_true",
+                             help="serve the live observability "
+                                  "endpoint (/metrics, /healthz, "
+                                  "/flight, /traces/<id>) while the "
+                                  "load runs; see docs/OBSPLANE.md")
+    serve_bench.add_argument("--http-port", type=int, default=0,
+                             metavar="PORT",
+                             help="with --http, bind this port "
+                                  "(default: 0 = ephemeral; the bound "
+                                  "URL is printed before the load "
+                                  "starts)")
+    serve_bench.add_argument("--http-hold", type=float, default=0.0,
+                             metavar="SECONDS",
+                             help="with --http, keep the endpoint (and "
+                                  "service) up this long after the "
+                                  "load finishes so scrapers can poll "
+                                  "the final state")
+
+    top = commands.add_parser(
+        "top",
+        help="live ops console: poll an observability endpoint and "
+             "render qps/p50/p95/p99/shed/breaker tables per document "
+             "and per shard (see docs/OBSPLANE.md)")
+    top.add_argument("--url", default="http://127.0.0.1:9464",
+                     help="endpoint base URL (default: "
+                          "http://127.0.0.1:9464)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="seconds between scrapes (default: 2.0)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="stop after N scrapes (default: run until "
+                          "interrupted)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append refreshes instead of clearing the "
+                          "screen (for logs and CI)")
 
     index = commands.add_parser(
         "index",
@@ -438,6 +477,13 @@ def _command_serve_bench(args, out) -> int:
             tracer=tracer, flight_recorder=flight,
             retry_policy=RetryPolicy() if args.retry else None,
             breaker_policy=BreakerPolicy() if args.breaker else None)
+    observer = None
+    if getattr(args, "http", False):
+        from .serve import ObservabilityServer
+        observer = ObservabilityServer(service,
+                                       port=args.http_port).start()
+        print(f"observability endpoint: {observer.url}", file=out,
+              flush=True)
     try:
         workload = mixed_workload(args.seed)
         # Baseline before any chaos: successes under injection must
@@ -462,7 +508,12 @@ def _command_serve_bench(args, out) -> int:
                               expected=expected)
         health = service.health() if not args.cluster else None
         cluster_stats = service.cluster_stats() if args.cluster else None
+        if observer is not None and args.http_hold > 0:
+            import time as _time
+            _time.sleep(args.http_hold)
     finally:
+        if observer is not None:
+            observer.close()
         service.close()
     print(report.report(), file=out)
     if cluster_stats is not None:
@@ -612,12 +663,23 @@ def _command_generate(args, out) -> int:
     return 0
 
 
+def _command_top(args, out) -> int:
+    from .serve.console import run_console
+    try:
+        return run_console(args.url, interval=args.interval,
+                           iterations=args.iterations, out=out,
+                           clear=not args.no_clear)
+    except KeyboardInterrupt:
+        return 0
+
+
 _COMMANDS = {
     "query": _command_query,
     "explain": _command_explain,
     "compare": _command_compare,
     "visualize": _command_visualize,
     "serve-bench": _command_serve_bench,
+    "top": _command_top,
     "index": _command_index,
     "shard": _command_shard,
     "generate": _command_generate,

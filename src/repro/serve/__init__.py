@@ -25,6 +25,10 @@ XQuery engine.  This package supplies that engine-around-the-engine:
   (:class:`HealthTracker`, ``QueryService.health()``) and the
   degraded-mode emptiness prover; the catalog quarantines documents
   whose load hits a storage failure (:class:`QuarantineRecord`);
+* :mod:`repro.serve.httpobs` — the live observability endpoint:
+  :class:`ObservabilityServer` mounts ``/metrics`` (Prometheus text),
+  ``/healthz``, ``/flight`` and ``/traces/<id>`` on either service
+  (stdlib ``http.server``; see ``docs/OBSPLANE.md``);
 * :mod:`repro.serve.cluster` — **multi-process sharded serving**:
   :class:`ClusterService` scatter-gathers shardable queries over a pool
   of worker processes (:mod:`repro.serve.worker`), each mmap-sharing
@@ -39,6 +43,7 @@ See ``docs/SERVING.md`` for the architecture and tuning knobs and
 from ..guard import CircuitOpen, DocumentQuarantined, ServiceClosed, \
     ServiceOverloaded
 from .catalog import DocumentCatalog, QuarantineRecord
+from .httpobs import ObservabilityServer
 from .cluster import (ClusterLayout, ClusterService, ClusterStats,
                       WorkerStats, merge_shard_results, scatter_plan)
 from .loadgen import (ChaosCell, LoadReport, default_catalog,
@@ -54,7 +59,8 @@ __all__ = [
     "BreakerPolicy", "ChaosCell", "CircuitBreaker", "CircuitOpen",
     "ClusterLayout", "ClusterService", "ClusterStats",
     "DocumentCatalog", "DocumentHealth", "DocumentQuarantined",
-    "HealthTracker", "LatencyHistogram", "LoadReport", "PendingQuery",
+    "HealthTracker", "LatencyHistogram", "LoadReport",
+    "ObservabilityServer", "PendingQuery",
     "QuarantineRecord", "QueryRequest", "QueryResponse", "QueryService",
     "RetryPolicy", "ServiceClosed", "ServiceHealth", "ServiceMetrics",
     "ServiceOverloaded", "ServiceStats", "WorkerStats", "default_catalog",

@@ -80,7 +80,8 @@ from ..guard import (BudgetExceeded, Budgets, ChaosSpec, CircuitOpen,
                      ServiceClosed, ServiceOverloaded, WorkerLost,
                      chaos_point, default_seed)
 from ..pattern.tree import PatternPath, TreePattern
-from ..trace import FlightRecorder, FlightSnapshot, Tracer
+from ..trace import (FlightRecorder, FlightSnapshot, TraceContext,
+                     Tracer, graft_remote)
 from ..xmltree.axes import Axis
 from ..xmltree.nodetest import NameTest, TextTest
 from ..xmltree.shard import ShardManifest, write_shard_layout
@@ -264,6 +265,9 @@ class WorkerStats:
     failed: int
     queue_depth: int
     breaker_state: str
+    #: cumulative worker-self-measured task execution seconds — the
+    #: per-worker utilization series on ``/metrics``.
+    busy_seconds: float = 0.0
 
 
 @dataclass
@@ -311,6 +315,7 @@ class _ClusterMetrics:
         self.dispatched: Dict[int, int] = {}
         self.completed: Dict[int, int] = {}
         self.failed: Dict[int, int] = {}
+        self.busy_seconds: Dict[int, float] = {}
         self.respawns = 0
         self.partials = 0
         self.scattered = 0
@@ -329,6 +334,8 @@ class _ClusterMetrics:
                 self.completed[worker] = self.completed.get(worker, 0) + 1
             else:
                 self.failed[worker] = self.failed.get(worker, 0) + 1
+            self.busy_seconds[worker] = \
+                self.busy_seconds.get(worker, 0.0) + seconds
             histogram = self.shard_latency.get(key)
             if histogram is None:
                 histogram = self.shard_latency[key] = LatencyHistogram()
@@ -376,8 +383,8 @@ class _Task:
     """One dispatched unit: a (document, shard) evaluation."""
 
     __slots__ = ("task_id", "execution", "shard", "worker", "dispatched",
-                 "exec_seconds", "ok", "items", "error", "retried",
-                 "finished")
+                 "received", "exec_seconds", "ok", "items", "error",
+                 "retried", "finished", "remote_trace")
 
     def __init__(self, task_id: int, execution: _ClusterExecution,
                  shard: Optional[int]) -> None:
@@ -386,12 +393,19 @@ class _Task:
         self.shard = shard
         self.worker = -1
         self.dispatched = 0.0
+        #: coordinator-clock instant the result frame arrived (0.0 when
+        #: the task failed without one) — with ``dispatched`` it bounds
+        #: the dispatch→first-frame wait on ONE clock.
+        self.received = 0.0
         self.exec_seconds = 0.0
         self.ok = False
         self.items: Optional[List[Tuple[str, Any]]] = None
         self.error: Optional[Exception] = None
         self.retried = False
         self.finished = False
+        #: packed worker span payload (:func:`repro.trace.pack_trace`)
+        #: when the request was sampled and the worker replied with one.
+        self.remote_trace: Optional[Dict[str, Any]] = None
 
 
 # -- transports --------------------------------------------------------------
@@ -787,6 +801,12 @@ class ClusterService:
                    "shard": task.shard,
                    "remaining": remaining,
                    "timeout": execution.request.timeout}
+        if execution.trace is not None:
+            # Context presence IS the sampling decision: only sampled
+            # requests make the workers trace.
+            message["trace"] = TraceContext(
+                execution.trace.trace_id,
+                execution.trace.root.span_id).to_wire()
         task.dispatched = self._clock()
         self.cluster_metrics.record_dispatched(task.worker)
         transport = self._workers[task.worker]
@@ -810,6 +830,8 @@ class ClusterService:
         if task is None or task.worker != worker_index:
             return
         task.exec_seconds = message.get("exec_seconds", 0.0)
+        task.received = self._clock()
+        task.remote_trace = message.get("trace")
         document = task.execution.request.document
         ok = bool(message.get("ok"))
         self.cluster_metrics.record_result(worker_index, document,
@@ -895,14 +917,54 @@ class ClusterService:
         if trace is not None:
             response.trace_id = trace.trace_id
             for task in execution.tasks:
-                trace.add_span(
+                # Every instant here is coordinator-clock: the shard
+                # span covers dispatch -> result-frame arrival as this
+                # process measured it.  The worker's self-measured
+                # execution time rides along as ``worker_seconds`` —
+                # an attribute, never a position — so clock skew
+                # between the two processes cannot produce negative
+                # gaps in the stitched tree.
+                # Offsets are measured from the trace root's own start
+                # (same coordinator clock), not ``execution.admitted``:
+                # the trace begins after admission, so admitted-based
+                # offsets would push spans past the root span's end.
+                dispatch_offset = max(
+                    task.dispatched - trace.root.start, 0.0) \
+                    if task.dispatched else 0.0
+                wait = max(task.received - task.dispatched, 0.0) \
+                    if task.dispatched and task.received else 0.0
+                payload = task.remote_trace
+                duration = wait
+                if payload is not None:
+                    # Under rate skew the worker may report a longer
+                    # execution than the coordinator-observed wait;
+                    # widen the envelope so grafted children still
+                    # nest inside it.
+                    duration = max(duration,
+                                   payload.get("duration", 0.0))
+                shard_span = trace.add_span(
                     "shard",
-                    start=trace.root.start
-                    + (task.dispatched - execution.admitted)
-                    if task.dispatched else trace.root.start,
-                    duration=task.exec_seconds,
+                    start=trace.root.start + dispatch_offset,
+                    duration=duration,
                     shard=-1 if task.shard is None else task.shard,
-                    worker=task.worker, ok=task.ok)
+                    worker=task.worker, ok=task.ok,
+                    wait_seconds=wait,
+                    worker_seconds=task.exec_seconds)
+                if payload is not None and trace.spans \
+                        and trace.spans[-1] is shard_span:
+                    # Only graft when the shard span itself survived
+                    # the buffer cap — stitching under a dropped span
+                    # would break the no-dropped-parent invariant.
+                    try:
+                        graft_remote(
+                            trace, payload,
+                            anchor=shard_span.start,
+                            parent_id=shard_span.span_id,
+                            attrs={"worker": task.worker,
+                                   "shard": -1 if task.shard is None
+                                   else task.shard})
+                    except ValueError as err:
+                        trace.event("graft-failed", error=str(err))
             if response.error is not None:
                 trace.annotate(error=getattr(
                     response.error, "code",
@@ -1020,7 +1082,8 @@ class ClusterService:
                     failed=metrics.failed.get(index, 0),
                     queue_depth=inflight.get(index, 0),
                     breaker_state=breaker.state if breaker is not None
-                    else "disabled"))
+                    else "disabled",
+                    busy_seconds=metrics.busy_seconds.get(index, 0.0)))
         with metrics._lock:
             latency = {key: histogram.snapshot()
                        for key, histogram

@@ -1,0 +1,334 @@
+"""``repro top``: a refreshing ops console over the scrape endpoint.
+
+Polls an :class:`~repro.serve.httpobs.ObservabilityServer` and renders
+a terminal table of the serving layer's vitals — qps, p50/p95/p99,
+shed count, breaker states — per document and per shard.  The console
+deliberately consumes the **public telemetry formats** rather than any
+in-process API: qps comes from counter deltas between two ``/metrics``
+scrapes, quantiles from the cumulative histogram buckets, breaker and
+liveness states from ``/healthz`` — so anything Prometheus could
+compute, the console computes the same way, and a console run doubles
+as an end-to-end exercise of the scrape path.
+
+The pieces are separable for tests: :func:`parse_prometheus` (text →
+samples), :func:`histogram_quantile` (buckets → quantile, the PromQL
+``histogram_quantile`` estimator), :class:`ConsoleState` (two scrapes
+→ rendered table, no I/O), and :func:`run_console` (the polling loop
+behind the CLI).  See ``docs/OBSPLANE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["ConsoleState", "Sample", "histogram_quantile",
+           "parse_prometheus", "run_console", "scrape"]
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition sample: raw metric name, labels, value."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+    def label(self, key: str, default: str = "") -> str:
+        for name, value in self.labels:
+            if name == key:
+                return value
+        return default
+
+
+def _unescape(value: str) -> str:
+    return (value.replace(r"\n", "\n").replace(r"\"", '"')
+            .replace("\\\\", "\\"))
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> List[Sample]:
+    """Parse exposition text into samples (comments skipped)."""
+    samples: List[Sample] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            continue
+        labels = tuple(
+            (key, _unescape(raw))
+            for key, raw in _LABEL.findall(match.group("labels") or ""))
+        samples.append(Sample(name=match.group("name"), labels=labels,
+                              value=_parse_value(match.group("value"))))
+    return samples
+
+
+def histogram_quantile(q: float,
+                       buckets: Iterable[Tuple[float, float]]) -> float:
+    """The PromQL ``histogram_quantile`` estimator over cumulative
+    ``(le, count)`` buckets: find the bucket the rank falls in and
+    interpolate linearly inside it (the +Inf bucket clamps to the last
+    finite bound)."""
+    ordered = sorted(buckets, key=lambda pair: pair[0])
+    if not ordered:
+        return 0.0
+    total = ordered[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    previous_bound, previous_count = 0.0, 0.0
+    for bound, count in ordered:
+        if count >= rank:
+            if bound == float("inf"):
+                return previous_bound
+            span = count - previous_count
+            if span <= 0:
+                return bound
+            fraction = (rank - previous_count) / span
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_count = bound, count
+    return previous_bound
+
+
+# -- scrape ------------------------------------------------------------------
+
+
+def scrape(url: str, timeout: float = 5.0) -> Tuple[str, Dict[str, Any]]:
+    """One poll: ``/metrics`` text plus the parsed ``/healthz`` JSON
+    (``/healthz`` answers 503 with a JSON body when unhealthy — that is
+    data, not an error)."""
+    base = url.rstrip("/")
+    with urllib.request.urlopen(base + "/metrics",
+                                timeout=timeout) as response:
+        metrics = response.read().decode("utf-8")
+    try:
+        with urllib.request.urlopen(base + "/healthz",
+                                    timeout=timeout) as response:
+            health = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as err:
+        health = json.loads(err.read().decode("utf-8"))
+    return metrics, health
+
+
+# -- the console model -------------------------------------------------------
+
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+@dataclass
+class _Window:
+    """Counter values at the previous scrape, for delta rates."""
+
+    at: float = 0.0
+    counters: Dict[_Key, float] = field(default_factory=dict)
+
+
+class ConsoleState:
+    """Turns consecutive scrapes into a rendered table (no I/O).
+
+    Rates (qps, shed/s) are deltas between the last two scrapes;
+    quantiles are delta-histograms over the same window when the window
+    saw traffic, falling back to the cumulative distribution otherwise
+    (first scrape, idle window).
+    """
+
+    def __init__(self) -> None:
+        self._previous = _Window()
+        self._scrapes = 0
+
+    # -- update --------------------------------------------------------------
+
+    def update(self, metrics_text: str, health: Dict[str, Any],
+               now: Optional[float] = None) -> str:
+        """Fold one scrape in and return the rendered table."""
+        now = time.monotonic() if now is None else now
+        samples = parse_prometheus(metrics_text)
+        counters = {(sample.name, sample.labels): sample.value
+                    for sample in samples}
+        elapsed = now - self._previous.at \
+            if self._previous.counters else 0.0
+        self._scrapes += 1
+        text = self._render(samples, counters, health, elapsed)
+        self._previous = _Window(at=now, counters=counters)
+        return text
+
+    def _delta(self, counters: Dict[_Key, float], name: str,
+               labels: Tuple[Tuple[str, str], ...] = ()) -> float:
+        key = (name, labels)
+        value = counters.get(key, 0.0)
+        if not self._previous.counters:
+            return 0.0
+        return max(value - self._previous.counters.get(key, 0.0), 0.0)
+
+    def _rate(self, counters: Dict[_Key, float], name: str,
+              elapsed: float,
+              labels: Tuple[Tuple[str, str], ...] = ()) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return self._delta(counters, name, labels) / elapsed
+
+    def _quantiles(self, samples: List[Sample],
+                   counters: Dict[_Key, float], family: str,
+                   group: Tuple[Tuple[str, str], ...]
+                   ) -> Tuple[float, float, float, float]:
+        """(p50, p95, p99, window count) for one histogram series,
+        preferring the delta distribution over the scrape window."""
+        cumulative: List[Tuple[float, float]] = []
+        delta: List[Tuple[float, float]] = []
+        for sample in samples:
+            if sample.name != family + "_bucket":
+                continue
+            rest = tuple((key, value) for key, value in sample.labels
+                         if key != "le")
+            if rest != group:
+                continue
+            bound = _parse_value(sample.label("le"))
+            cumulative.append((bound, sample.value))
+            delta.append((bound, self._delta(counters, sample.name,
+                                             sample.labels)))
+        window = max((count for _bound, count in delta), default=0.0)
+        buckets = delta if window > 0 else cumulative
+        return (histogram_quantile(0.50, buckets),
+                histogram_quantile(0.95, buckets),
+                histogram_quantile(0.99, buckets),
+                window)
+
+    # -- render --------------------------------------------------------------
+
+    def _render(self, samples: List[Sample],
+                counters: Dict[_Key, float], health: Dict[str, Any],
+                elapsed: float) -> str:
+        lines: List[str] = []
+        status = health.get("status", "?")
+        qps = self._rate(counters, "repro_requests_completed_total",
+                         elapsed)
+        shed = self._rate(counters, "repro_requests_shed_total", elapsed)
+        p50, p95, p99, _ = self._quantiles(
+            samples, counters, "repro_request_latency_seconds", ())
+        lines.append(
+            f"repro top · scrape #{self._scrapes} · status={status} · "
+            f"queue={health.get('queue_depth', 0)} "
+            f"in_flight={health.get('in_flight', 0)}")
+        lines.append(
+            f"service    qps={qps:7.1f}  p50={_ms(p50)}  p95={_ms(p95)}  "
+            f"p99={_ms(p99)}  shed/s={shed:.1f}")
+        shard_rows = self._shard_rows(samples, counters, elapsed)
+        if shard_rows:
+            lines.append(f"{'document':<12} {'shard':>6} {'qps':>8} "
+                         f"{'p50':>9} {'p95':>9} {'p99':>9} {'n':>8}")
+            lines.extend(shard_rows)
+        lines.extend(self._document_rows(health))
+        lines.extend(self._worker_rows(health))
+        return "\n".join(lines)
+
+    def _shard_rows(self, samples: List[Sample],
+                    counters: Dict[_Key, float],
+                    elapsed: float) -> List[str]:
+        family = "repro_cluster_shard_latency_seconds"
+        groups: List[Tuple[Tuple[Tuple[str, str], ...], float]] = []
+        for sample in samples:
+            if sample.name != family + "_count" or sample.labels in \
+                    [group for group, _count in groups]:
+                continue
+            groups.append((sample.labels, sample.value))
+        rows = []
+        for group, count in sorted(groups):
+            document = dict(group).get("document", "?")
+            shard = dict(group).get("shard", "?")
+            qps = self._rate(counters, family + "_count", elapsed, group)
+            p50, p95, p99, _ = self._quantiles(samples, counters,
+                                               family, group)
+            rows.append(
+                f"{document:<12} {shard:>6} {qps:>8.1f} "
+                f"{_ms(p50):>9} {_ms(p95):>9} {_ms(p99):>9} "
+                f"{int(count):>8}")
+        return rows
+
+    def _document_rows(self, health: Dict[str, Any]) -> List[str]:
+        documents = health.get("documents")
+        if not isinstance(documents, dict):
+            return []
+        rows = []
+        for doc in documents.get("documents", []):
+            breaker = doc.get("breaker_state") or "off"
+            rows.append(
+                f"doc {doc.get('document', '?'):<10} "
+                f"status={doc.get('status', '?'):<8} "
+                f"breaker={breaker:<9} "
+                f"ok={doc.get('successes', 0)} "
+                f"fail={doc.get('failures', 0)}")
+        return rows
+
+    def _worker_rows(self, health: Dict[str, Any]) -> List[str]:
+        workers = health.get("workers")
+        if not isinstance(workers, list):
+            return []
+        rows = []
+        for worker in workers:
+            rows.append(
+                f"worker {worker.get('index', '?'):>3} "
+                f"{'alive' if worker.get('alive') else 'DEAD ':<5} "
+                f"breaker={worker.get('breaker_state', '?'):<9} "
+                f"queue={worker.get('queue_depth', 0):<4} "
+                f"done={worker.get('completed', 0):<7} "
+                f"busy={worker.get('busy_seconds', 0.0):.2f}s")
+        return rows
+
+
+def _ms(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:6.2f}s"
+    return f"{seconds * 1e3:6.2f}ms"
+
+
+def run_console(url: str, interval: float = 2.0,
+                iterations: Optional[int] = None, out=None,
+                clear: bool = True) -> int:
+    """The ``repro top`` loop: scrape, render, sleep, repeat.
+
+    ``iterations=None`` runs until interrupted; a finite count makes
+    the command scriptable (and CI-testable).  Returns 0, or 1 when the
+    first scrape fails (endpoint not reachable)."""
+    import sys
+    out = sys.stdout if out is None else out
+    state = ConsoleState()
+    count = 0
+    while iterations is None or count < iterations:
+        try:
+            metrics, health = scrape(url)
+        except (urllib.error.URLError, OSError, ValueError) as err:
+            if count == 0:
+                print(f"repro top: cannot scrape {url}: {err}", file=out)
+                return 1
+            print(f"repro top: scrape failed ({err}); retrying",
+                  file=out)
+            time.sleep(interval)
+            continue
+        table = state.update(metrics, health)
+        if clear and count:
+            print("\x1b[2J\x1b[H", end="", file=out)
+        print(table, file=out, flush=True)
+        count += 1
+        if iterations is None or count < iterations:
+            time.sleep(interval)
+    return 0

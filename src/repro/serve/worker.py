@@ -45,6 +45,7 @@ from typing import Any, BinaryIO, Dict, List, Optional, Tuple
 from ..engine import Engine
 from ..guard import (BudgetExceeded, Budgets, InternalError, ReproError,
                      inject, worker_seed)
+from ..trace import TraceContext, Tracer, pack_trace
 from ..xmltree.node import Node
 from ..xmltree.shard import ShardManifest
 
@@ -150,6 +151,10 @@ class ShardWorker:
             self._manifests[name] = ShardManifest.load(
                 os.path.join(directory, spec["manifest"]))
         self._engines: Dict[Tuple[str, Optional[int]], Engine] = {}
+        #: worker-local tracer for sampled tasks.  Always enabled: the
+        #: coordinator makes the sampling decision, and a task without
+        #: a trace context never touches the tracer at all.
+        self.tracer = Tracer()
 
     @classmethod
     def from_init(cls, init: Dict[str, Any]) -> "ShardWorker":
@@ -188,19 +193,45 @@ class ShardWorker:
 
     def handle(self, task: Dict[str, Any]) -> Dict[str, Any]:
         """Execute one ``task`` frame and build its ``result`` frame
-        (errors come back typed and wire-safe, never raised)."""
-        started = time.perf_counter()
-        try:
-            items = self._execute(task)
-        except Exception as err:
-            return {"type": "result", "task_id": task["task_id"],
-                    "ok": False, "error": wire_safe_error(err),
-                    "exec_seconds": time.perf_counter() - started}
-        return {"type": "result", "task_id": task["task_id"],
-                "ok": True, "items": items,
-                "exec_seconds": time.perf_counter() - started}
+        (errors come back typed and wire-safe, never raised).
 
-    def _execute(self, task: Dict[str, Any]) -> List[Tuple[str, Any]]:
+        A task whose frame carries a trace context
+        (:class:`~repro.trace.TraceContext` wire dict) runs under a
+        worker-local trace; its span buffer and exact ``op_stats`` ride
+        back on the result frame as a :func:`~repro.trace.pack_trace`
+        payload — **relative durations and offsets only**, never
+        absolute worker timestamps — for the coordinator to stitch.
+        """
+        started = time.perf_counter()
+        context = TraceContext.from_wire(task.get("trace"))
+        trace = None
+        if context is not None:
+            trace = self.tracer.begin(
+                "worker", worker=self.worker_index,
+                shard=-1 if task.get("shard") is None else task["shard"],
+                remote_trace_id=context.trace_id)
+        try:
+            items = self._execute(task, trace)
+        except Exception as err:
+            frame = {"type": "result", "task_id": task["task_id"],
+                     "ok": False, "error": wire_safe_error(err),
+                     "exec_seconds": time.perf_counter() - started}
+            if trace is not None:
+                trace.annotate(error=getattr(err, "code",
+                                             type(err).__name__))
+                trace.finish()
+                frame["trace"] = pack_trace(trace)
+            return frame
+        frame = {"type": "result", "task_id": task["task_id"],
+                 "ok": True, "items": items,
+                 "exec_seconds": time.perf_counter() - started}
+        if trace is not None:
+            trace.finish(rows=len(items))
+            frame["trace"] = pack_trace(trace)
+        return frame
+
+    def _execute(self, task: Dict[str, Any],
+                 trace=None) -> List[Tuple[str, Any]]:
         document = task["document"]
         shard = task.get("shard")
         remaining = task.get("remaining")
@@ -209,10 +240,12 @@ class ShardWorker:
                                  -remaining, elapsed_seconds=-remaining)
         engine = self.engine_for(document, shard)
         compiled = engine.compile(task["query"],
-                                  optimize=task.get("optimize", True))
+                                  optimize=task.get("optimize", True),
+                                  tracing=trace)
         results = engine.execute(compiled, strategy=task.get("strategy"),
                                  optimized=task.get("optimize", True),
-                                 budgets=self._budgets_for(remaining))
+                                 budgets=self._budgets_for(remaining),
+                                 tracing=trace)
         if shard is None:
             return [("n", item.pre) if isinstance(item, Node)
                     else ("v", item) for item in results]

@@ -21,6 +21,7 @@ See docs/TRACING.md for the span model and format references.
 """
 
 from .analyze import ExplainAnalysis, format_seconds
+from .distrib import TraceContext, graft_remote, pack_trace
 from .export import (chrome_trace, prometheus_text, spans_jsonl,
                      validate_chrome_trace, validate_prometheus,
                      write_chrome_trace, write_prometheus,
@@ -32,8 +33,9 @@ from .tracer import (MAX_EVENTS, MAX_SPANS, OpStat, RatioSampler, Span,
 __all__ = [
     "ExplainAnalysis", "FlightEntry", "FlightRecorder", "FlightSnapshot",
     "MAX_EVENTS", "MAX_SPANS", "OpStat", "RatioSampler", "Span", "Trace",
-    "TraceAggregates", "Tracer", "chrome_trace", "format_seconds",
-    "maybe_span", "prometheus_text", "spans_jsonl",
-    "validate_chrome_trace", "validate_prometheus", "write_chrome_trace",
-    "write_prometheus", "write_spans_jsonl",
+    "TraceAggregates", "TraceContext", "Tracer", "chrome_trace",
+    "format_seconds", "graft_remote", "maybe_span", "pack_trace",
+    "prometheus_text", "spans_jsonl", "validate_chrome_trace",
+    "validate_prometheus", "write_chrome_trace", "write_prometheus",
+    "write_spans_jsonl",
 ]

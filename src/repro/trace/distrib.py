@@ -1,0 +1,203 @@
+"""Distributed tracing: context propagation and cross-process stitching.
+
+The cluster coordinator (:mod:`repro.serve.cluster`) and its worker
+processes (:mod:`repro.serve.worker`) each run their own
+:class:`~repro.trace.Tracer` on their own ``time.perf_counter`` — two
+monotonic clocks with **unrelated origins** (and, under NTP slew or CPU
+frequency drift, slightly different rates).  Absolute worker timestamps
+are therefore meaningless on the coordinator.  This module defines the
+rules that keep a stitched cross-process trace honest anyway:
+
+* **only relative quantities cross the wire** — a worker exports each
+  span as ``(offset from the worker trace's root, duration)``, both
+  measured on the worker's own clock (:func:`pack_trace`);
+* **the coordinator supplies the anchor** — :func:`graft_remote`
+  re-bases every remote span onto a coordinator-clock instant the
+  coordinator itself measured (task dispatch), so a stitched span's
+  absolute position is always coordinator-derived and never the
+  difference of two unrelated clocks;
+* **offsets are clamped non-negative** — a corrupted or adversarial
+  payload cannot produce a child that starts before its parent, so the
+  no-negative-gap invariant survives arbitrary clock skew.
+
+:class:`TraceContext` is the propagation envelope: the coordinator's
+trace id, the span the remote work should nest under, and the sampling
+decision (context is only sent for sampled requests, so an unsampled
+request costs the workers nothing).
+
+Grafted spans respect the destination trace's ``max_spans`` bound and
+its monotone no-dropped-parent invariant: payload spans arrive in
+creation order (parents first), and a child whose parent was dropped —
+on the worker or during the graft — is dropped too, counted in
+``Trace.dropped_spans``.
+
+See ``docs/OBSPLANE.md`` for the full telemetry-plane architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .tracer import OpStat, Span, Trace
+
+__all__ = ["TraceContext", "graft_remote", "pack_trace"]
+
+#: wire-format version stamped into every packed payload; a worker and
+#: coordinator from different builds fail loudly instead of stitching
+#: garbage.
+WIRE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The trace envelope a coordinator sends alongside a task.
+
+    ``trace_id`` names the coordinator's root trace, ``parent_span_id``
+    the span the remote execution will be stitched under.  Presence of
+    a context *is* the sampling decision: coordinators only attach one
+    to sampled requests, so unsampled requests never pay for remote
+    span capture.
+    """
+
+    trace_id: str
+    parent_span_id: int
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id,
+                "parent_span_id": self.parent_span_id}
+
+    @classmethod
+    def from_wire(cls, data: Optional[Dict[str, Any]]
+                  ) -> Optional["TraceContext"]:
+        """Parse a wire dict; ``None`` (or a malformed dict) means the
+        request is unsampled and the worker should not trace."""
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("trace_id")
+        parent = data.get("parent_span_id")
+        if not isinstance(trace_id, str) or not isinstance(parent, int):
+            return None
+        return cls(trace_id=trace_id, parent_span_id=parent)
+
+
+def pack_trace(trace: Trace) -> Dict[str, Any]:
+    """Export a finished worker trace as a wire payload.
+
+    Every timestamp in the payload is **relative**: span starts become
+    offsets from the worker trace's root start, and only durations and
+    offsets — both worker-measured — are included.  The payload also
+    carries the exact ``op_stats`` aggregation (re-keyed positionally;
+    worker-side ``id()`` keys are meaningless across processes) and the
+    worker's drop counters, so coordinator-side accounting stays
+    truthful about truncation.
+    """
+    origin = trace.root.start
+    spans: List[Dict[str, Any]] = []
+    for span in trace.spans:
+        spans.append({
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "offset": max(span.start - origin, 0.0),
+            "duration": max(span.duration, 0.0),
+            "attrs": dict(span.attrs),
+            "events": [(offset, name, dict(attrs))
+                       for offset, name, attrs in span.events],
+        })
+    return {
+        "version": WIRE_VERSION,
+        "duration": max(trace.duration, 0.0),
+        "dropped_spans": trace.dropped_spans,
+        "dropped_events": trace.dropped_events,
+        "spans": spans,
+        "op_stats": [stat.to_dict() for stat in trace.op_stats.values()],
+    }
+
+
+def graft_remote(trace: Trace, payload: Dict[str, Any], *,
+                 anchor: float, parent_id: int,
+                 attrs: Optional[Dict[str, Any]] = None) -> int:
+    """Stitch a packed worker trace into ``trace`` under ``parent_id``.
+
+    ``anchor`` is the coordinator-clock instant the remote root is
+    placed at — callers pass a coordinator-side measurement (the task's
+    dispatch time on the trace's own clock).  Every remote span lands at
+    ``anchor + offset`` with its worker-measured duration, remote span
+    ids are re-allocated in the destination trace's id space, and
+    ``attrs`` (worker index, shard, …) are merged into each grafted
+    top-level span.  Returns the number of spans stored.
+
+    Bounded like native spans: once ``trace.max_spans`` is reached,
+    further remote spans are dropped and counted, and a span whose
+    parent was dropped (remotely or here) is dropped too, preserving
+    the no-dropped-parent invariant.
+    """
+    if payload.get("version") != WIRE_VERSION:
+        raise ValueError(
+            f"remote trace payload version "
+            f"{payload.get('version')!r} != {WIRE_VERSION}; "
+            f"coordinator and worker builds disagree")
+    id_map: Dict[int, int] = {}
+    stored = 0
+    for record in payload.get("spans", ()):
+        remote_parent = record.get("parent_id")
+        if remote_parent is None:
+            new_parent: Optional[int] = parent_id
+        else:
+            mapped = id_map.get(remote_parent)
+            if mapped is None:
+                # The parent was dropped (worker buffer cap or our own):
+                # storing this child would violate the no-dropped-parent
+                # invariant, so it is dropped and counted too.
+                trace.dropped_spans += 1
+                continue
+            new_parent = mapped
+        new_id = trace._next_id
+        trace._next_id += 1
+        if len(trace.spans) >= trace.max_spans:
+            trace.dropped_spans += 1
+            continue
+        span = Span(name=record["name"], span_id=new_id,
+                    parent_id=new_parent,
+                    start=anchor + max(record.get("offset", 0.0), 0.0),
+                    duration=max(record.get("duration", 0.0), 0.0))
+        span.attrs.update(record.get("attrs", ()))
+        if attrs and remote_parent is None:
+            span.attrs.update(attrs)
+        for offset, name, event_attrs in record.get("events", ()):
+            span.events.append((offset, name, dict(event_attrs)))
+        trace.spans.append(span)
+        id_map[record["span_id"]] = new_id
+        stored += 1
+    trace.dropped_spans += payload.get("dropped_spans", 0)
+    trace.dropped_events += payload.get("dropped_events", 0)
+    _merge_remote_op_stats(trace, payload.get("op_stats", ()))
+    return stored
+
+
+def _merge_remote_op_stats(trace: Trace,
+                           stats: Tuple[Dict[str, Any], ...]) -> None:
+    """Fold remote per-operator aggregates into ``trace.op_stats``.
+
+    Local op stats are keyed by ``id(plan_node)`` — always positive
+    CPython addresses — so remote aggregates use **negative synthetic
+    keys**, one per operator name, merged across shards and workers.
+    ``EXPLAIN``-style consumers keyed on local plan ids never collide
+    with them, while name-based rollups see both.
+    """
+    by_name: Dict[str, int] = {
+        stat.name: key for key, stat in trace.op_stats.items() if key < 0}
+    for record in stats:
+        name = record.get("name", "?")
+        key = by_name.get(name)
+        if key is None:
+            key = -(len(by_name) + 1)
+            while key in trace.op_stats:  # pragma: no cover - defensive
+                key -= 1
+            by_name[name] = key
+            trace.op_stats[key] = OpStat(name)
+        stat = trace.op_stats[key]
+        stat.calls += record.get("calls", 0)
+        stat.seconds += record.get("seconds", 0.0)
+        stat.rows += record.get("rows", 0)

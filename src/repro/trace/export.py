@@ -159,13 +159,33 @@ def _format_value(value: float) -> str:
 
 
 class _PromWriter:
+    """Accumulates exposition lines with a **family registry**: the
+    first declaration of a metric family emits its ``HELP``/``TYPE``
+    pair; later contributions to the same family (merged registries —
+    service + cluster + per-worker series) append samples only.  A
+    re-declaration with a *different* kind is a programming error and
+    raises, instead of emitting the conflicting exposition Prometheus
+    would reject."""
+
     def __init__(self) -> None:
         self.lines: List[str] = []
+        self._families: Dict[str, str] = {}
+
+    def _declare(self, name: str, kind: str, help_text: str) -> None:
+        known = self._families.get(name)
+        if known is not None:
+            if known != kind:
+                raise ValueError(
+                    f"metric family {name!r} declared as both "
+                    f"{known!r} and {kind!r}")
+            return
+        self._families[name] = kind
+        self.lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        self.lines.append(f"# TYPE {name} {kind}")
 
     def metric(self, name: str, kind: str, help_text: str,
                samples: "Iterable[tuple]") -> None:
-        self.lines.append(f"# HELP {name} {help_text}")
-        self.lines.append(f"# TYPE {name} {kind}")
+        self._declare(name, kind, help_text)
         for labels, value in samples:
             label_text = ""
             if labels:
@@ -176,16 +196,12 @@ class _PromWriter:
             self.lines.append(f"{name}{label_text} {_format_value(value)}")
 
     def histogram(self, name: str, help_text: str, histogram,
-                  labels: Optional[Dict[str, str]] = None,
-                  declare: bool = True) -> None:
+                  labels: Optional[Dict[str, str]] = None) -> None:
         """Emit a LatencyHistogram-shaped object (``BOUNDS``, ``counts``,
         ``count``, ``total``) as a Prometheus cumulative histogram.
-        ``labels`` are added to every sample; set ``declare=False`` when
-        appending a second labelled series to an already-declared
-        family."""
-        if declare:
-            self.lines.append(f"# HELP {name} {help_text}")
-            self.lines.append(f"# TYPE {name} histogram")
+        ``labels`` are added to every sample; additional labelled series
+        for an already-declared family simply append samples."""
+        self._declare(name, "histogram", help_text)
 
         def render(extra: Dict[str, str]) -> str:
             merged = dict(labels or {})
@@ -215,6 +231,12 @@ class _PromWriter:
 def _escape_label(value: str) -> str:
     return (str(value).replace("\\", r"\\").replace('"', r'\"')
             .replace("\n", r"\n"))
+
+
+def _escape_help(value: str) -> str:
+    # HELP escaping per the exposition format: backslash and newline
+    # only (quotes are legal in help text).
+    return str(value).replace("\\", r"\\").replace("\n", r"\n")
 
 
 def prometheus_text(metrics: Optional[Any] = None,
@@ -303,6 +325,12 @@ def prometheus_text(metrics: Optional[Any] = None,
                       "Tasks in flight on the worker.",
                       [({"worker": str(worker.index)}, worker.queue_depth)
                        for worker in cluster.workers])
+        writer.metric("repro_cluster_worker_busy_seconds_total", "counter",
+                      "Cumulative worker-self-measured task execution "
+                      "seconds.",
+                      [({"worker": str(worker.index)},
+                        getattr(worker, "busy_seconds", 0.0))
+                       for worker in cluster.workers])
         writer.metric("repro_cluster_respawns_total", "counter",
                       "Dead workers replaced by the coordinator.",
                       [(None, cluster.respawns)])
@@ -315,15 +343,14 @@ def prometheus_text(metrics: Optional[Any] = None,
                       [({"mode": "scattered"}, cluster.scattered),
                        ({"mode": "whole_document"},
                         cluster.whole_document)])
-        for position, key in enumerate(sorted(cluster.shard_latency)):
+        for key in sorted(cluster.shard_latency):
             document, _, shard = key.rpartition("/")
             writer.histogram(
                 "repro_cluster_shard_latency_seconds",
                 "Worker-measured shard execution seconds.",
                 cluster.shard_latency[key],
                 labels={"document": document,
-                        "shard": "whole" if shard == "-1" else shard},
-                declare=position == 0)
+                        "shard": "whole" if shard == "-1" else shard})
     return writer.text()
 
 
@@ -340,20 +367,35 @@ _TYPE_LINE = re.compile(
 
 def validate_prometheus(text: str) -> None:
     """Raise ``ValueError`` unless ``text`` parses as the Prometheus
-    text exposition format (HELP/TYPE comments, sample line syntax,
-    every sample preceded by a TYPE for its metric family)."""
+    text exposition format: HELP/TYPE comments well-formed and declared
+    **at most once per metric family** (merged registries must
+    deduplicate, not repeat), sample line syntax valid, every sample
+    preceded by a TYPE for its family, and no duplicate series (the
+    same metric name with the same label set twice)."""
     typed: Dict[str, str] = {}
+    helped: set = set()
+    seen_series: set = set()
     for number, line in enumerate(text.splitlines(), start=1):
         if not line:
             continue
         if line.startswith("# HELP "):
             if not _HELP_LINE.match(line):
                 raise ValueError(f"line {number}: malformed HELP: {line!r}")
+            family = line.split(" ", 3)[2]
+            if family in helped:
+                raise ValueError(
+                    f"line {number}: duplicate HELP for family "
+                    f"{family!r}")
+            helped.add(family)
             continue
         if line.startswith("# TYPE "):
             match = _TYPE_LINE.match(line)
             if not match:
                 raise ValueError(f"line {number}: malformed TYPE: {line!r}")
+            if match.group(1) in typed:
+                raise ValueError(
+                    f"line {number}: duplicate TYPE for family "
+                    f"{match.group(1)!r}")
             typed[match.group(1)] = match.group(2)
             continue
         if line.startswith("#"):
@@ -365,6 +407,11 @@ def validate_prometheus(text: str) -> None:
         if name not in typed and family not in typed:
             raise ValueError(
                 f"line {number}: sample {name!r} has no TYPE declaration")
+        series = line.rsplit(" ", 1)[0]
+        if series in seen_series:
+            raise ValueError(
+                f"line {number}: duplicate series {series!r}")
+        seen_series.add(series)
 
 
 def write_prometheus(path: str, metrics: Optional[Any] = None,

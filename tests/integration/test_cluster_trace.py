@@ -1,0 +1,252 @@
+"""Distributed tracing through the cluster: stitching, skew safety,
+result identity, and live scraping (the telemetry-plane acceptance
+suite).
+
+Four properties, each aimed at a different way cross-process tracing
+can lie:
+
+1. a traced request through a **real 4-worker process cluster** yields
+   one stitched trace — per-operator worker spans under the coordinator
+   root, every parent resolvable, valid Chrome nesting;
+2. **injected clock skew** between worker and coordinator tracers
+   (unrelated monotonic origins, the thing that actually happens)
+   cannot produce negative offsets or broken nesting, because only
+   relative durations cross the wire;
+3. tracing is **observation only**: traced cluster answers stay
+   byte-identical to the single-process golden corpus;
+4. ``/metrics`` scraped **during** a live cluster load run passes the
+   exposition validator on every scrape (no torn or duplicated
+   families under concurrency).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.data import member_document, xmark_document
+from repro.serve import (ClusterLayout, ClusterService,
+                         ObservabilityServer, QueryRequest)
+from repro.serve.loadgen import mixed_workload, run_load, \
+    sequential_baseline
+from repro.trace import (FlightRecorder, Tracer, chrome_trace,
+                         validate_chrome_trace, validate_prometheus)
+
+from tests.support.make_golden import (GOLDEN_DIR, golden_queries,
+                                       render_results)
+
+SCATTER_QUERY = "$input//person/name"
+
+
+def build_layout(tmp_path_factory, name):
+    directory = tmp_path_factory.mktemp(name)
+    return ClusterLayout.build(
+        {"xmark": xmark_document(40, seed=11).columns},
+        str(directory), 4)
+
+
+def assert_parents_resolve(trace):
+    ids = {span.span_id for span in trace.spans}
+    for span in trace.spans:
+        assert span.parent_id is None or span.parent_id in ids, (
+            f"span {span.name!r} references dropped parent "
+            f"{span.parent_id}")
+
+
+def assert_no_negative_offsets(trace):
+    for span in trace.spans:
+        assert span.start >= trace.root.start - 1e-9, (
+            f"span {span.name!r} starts before the trace root")
+        assert span.duration >= 0.0
+
+
+# -- 1. stitching through real processes -------------------------------------
+
+
+class TestProcessStitching:
+    @pytest.fixture(scope="class")
+    def traced_cluster(self, tmp_path_factory):
+        layout = build_layout(tmp_path_factory, "cluster-trace")
+        tracer = Tracer()
+        flight = FlightRecorder()
+        service = ClusterService(layout, workers=4, tracer=tracer,
+                                 flight_recorder=flight)
+        yield service
+        service.close()
+
+    @pytest.fixture(scope="class")
+    def shard_count(self, traced_cluster):
+        return traced_cluster.layout.manifests["xmark"].shard_count
+
+    @pytest.fixture(scope="class")
+    def stitched(self, traced_cluster):
+        results = traced_cluster.query("xmark", SCATTER_QUERY,
+                                       timeout=120.0)
+        assert results
+        snapshot = traced_cluster.flight_recorder()
+        assert snapshot.recorded >= 1
+        return snapshot.recent[-1].trace
+
+    def test_one_trace_with_worker_spans_under_root(self, stitched,
+                                                    shard_count):
+        assert shard_count >= 2, "document too small to scatter"
+        names = [span.name for span in stitched.spans]
+        assert names.count("shard") == shard_count, (
+            "a scattered request must produce one shard span per task")
+        assert names.count("worker") == shard_count, (
+            "each worker's remote root must be grafted")
+        # Per-operator spans from inside the workers crossed the pipe.
+        assert "execute" in names
+        assert any(name.startswith("pattern:") or name == "compile"
+                   for name in names)
+
+    def test_shard_spans_carry_both_clock_measurements(self, stitched):
+        shard_spans = [span for span in stitched.spans
+                       if span.name == "shard"]
+        for span in shard_spans:
+            # Coordinator-measured wait and worker-measured execution
+            # are separate attrs — never subtracted across clocks.
+            assert span.attrs["wait_seconds"] >= 0.0
+            assert span.attrs["worker_seconds"] >= 0.0
+            assert span.duration >= span.attrs["wait_seconds"] - 1e-9
+
+    def test_worker_spans_nest_inside_their_shard_span(self, stitched):
+        by_id = {span.span_id: span for span in stitched.spans}
+        grafted = [span for span in stitched.spans
+                   if span.name == "worker"]
+        assert grafted
+        for span in grafted:
+            parent = by_id[span.parent_id]
+            assert parent.name == "shard"
+            assert span.start >= parent.start - 1e-9
+            assert span.start + span.duration \
+                <= parent.start + parent.duration + 1e-6
+
+    def test_parents_resolve_and_offsets_nonnegative(self, stitched):
+        assert_parents_resolve(stitched)
+        assert_no_negative_offsets(stitched)
+
+    def test_chrome_export_validates(self, stitched):
+        validate_chrome_trace(chrome_trace(stitched))
+
+    def test_remote_op_stats_merged(self, stitched):
+        remote = {stat.name: stat for key, stat
+                  in stitched.op_stats.items() if key < 0}
+        assert remote, "worker op_stats did not cross the pipe"
+        assert all(stat.calls >= 1 for stat in remote.values())
+
+
+# -- 2. injected clock skew --------------------------------------------------
+
+
+class TestClockSkew:
+    def test_skewed_worker_clocks_cannot_corrupt_the_tree(
+            self, tmp_path_factory):
+        layout = build_layout(tmp_path_factory, "cluster-skew")
+        tracer = Tracer()
+        flight = FlightRecorder()
+        service = ClusterService(layout, workers=4, transport="inline",
+                                 tracer=tracer, flight_recorder=flight)
+        try:
+            # Give every inline worker a tracer whose monotonic origin
+            # is wildly offset from the coordinator's — one far ahead,
+            # one far behind, one drifting per call.
+            skews = [+1e6, -1e6, +12345.678, -0.5]
+            for transport, skew in zip(service._workers, skews):
+                transport.worker.tracer = Tracer(
+                    clock=(lambda s=skew: time.perf_counter() + s))
+            results = service.query("xmark", SCATTER_QUERY,
+                                    timeout=120.0)
+            assert results
+            trace = service.flight_recorder().recent[-1].trace
+            assert_parents_resolve(trace)
+            assert_no_negative_offsets(trace)
+            validate_chrome_trace(chrome_trace(trace))
+            names = [span.name for span in trace.spans]
+            assert names.count("worker") \
+                == layout.manifests["xmark"].shard_count
+        finally:
+            service.close()
+
+
+# -- 3. tracing is observation only ------------------------------------------
+
+
+class TestResultIdentity:
+    @pytest.fixture(scope="class")
+    def traced_cluster(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cluster-traced-golden")
+        layout = ClusterLayout.build(
+            {"member": member_document(600, depth=5, tag_count=4,
+                                       seed=7).columns,
+             "xmark": xmark_document(40, seed=11).columns},
+            str(directory), 4)
+        service = ClusterService(layout, workers=4, tracer=Tracer(),
+                                 flight_recorder=FlightRecorder())
+        yield service
+        service.close()
+
+    @pytest.mark.parametrize("stem", sorted(golden_queries()))
+    def test_traced_cluster_matches_golden_bytes(self, traced_cluster,
+                                                 stem):
+        queries = golden_queries()
+        document = stem.split("_", 1)[0]
+        expected = (GOLDEN_DIR / f"{stem}.xml").read_text(
+            encoding="utf-8")
+        got = render_results(traced_cluster.query(
+            document, queries[stem], timeout=120.0))
+        assert got == expected, (
+            f"{stem}: tracing changed the answer bytes")
+
+
+# -- 4. scraping during live load --------------------------------------------
+
+
+class TestLiveScrape:
+    def test_metrics_scraped_mid_load_validates(self, tmp_path_factory):
+        layout = build_layout(tmp_path_factory, "cluster-scrape")
+        service = ClusterService(layout, workers=4, transport="inline",
+                                 tracer=Tracer(),
+                                 flight_recorder=FlightRecorder())
+        workload = [request for request in mixed_workload(seed=13)
+                    if request.document == "xmark"]
+        scrapes = []
+        failures = []
+        stop = threading.Event()
+
+        def scraper(url):
+            while not stop.is_set():
+                try:
+                    with urllib.request.urlopen(url + "/metrics",
+                                                timeout=10) as response:
+                        text = response.read().decode("utf-8")
+                    validate_prometheus(text)
+                    scrapes.append(text)
+                except Exception as err:  # pragma: no cover - on bug
+                    failures.append(err)
+                    return
+                time.sleep(0.01)
+
+        try:
+            with ObservabilityServer(service) as obs:
+                thread = threading.Thread(target=scraper,
+                                          args=(obs.url,))
+                thread.start()
+                expected = sequential_baseline(service, workload)
+                report = run_load(service, workload, concurrency=4,
+                                  requests_per_client=8, seed=13,
+                                  timeout=60.0, expected=expected)
+                stop.set()
+                thread.join(timeout=30)
+        finally:
+            service.close()
+        assert not failures, f"mid-load scrape failed: {failures[0]}"
+        assert scrapes, "the scraper never completed a poll"
+        assert report.mismatches == 0
+        assert report.errors == 0
+        # The final scrape reflects the load that ran.
+        assert "repro_cluster_shard_latency_seconds_bucket" \
+            in scrapes[-1]

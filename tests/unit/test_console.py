@@ -1,0 +1,137 @@
+"""The ``repro top`` console model (``repro.serve.console``):
+exposition parsing, the PromQL quantile estimator, and the
+delta-rate/table rendering over synthetic consecutive scrapes.
+"""
+
+import pytest
+
+from repro.serve.console import (ConsoleState, histogram_quantile,
+                                 parse_prometheus)
+
+
+class TestParse:
+    def test_samples_and_labels(self):
+        text = "\n".join([
+            "# HELP repro_x_total Things.",
+            "# TYPE repro_x_total counter",
+            "repro_x_total 41",
+            'repro_y_total{worker="3",mode="scattered"} 7.5',
+            "repro_inf_bucket{le=\"+Inf\"} 12",
+        ]) + "\n"
+        samples = parse_prometheus(text)
+        assert [s.name for s in samples] \
+            == ["repro_x_total", "repro_y_total", "repro_inf_bucket"]
+        assert samples[0].labels == ()
+        assert samples[0].value == 41.0
+        assert samples[1].label("worker") == "3"
+        assert samples[1].label("mode") == "scattered"
+        assert samples[2].value == float("inf") or samples[2].value == 12
+        assert samples[2].label("le") == "+Inf"
+
+    def test_escaped_label_values_round_trip(self):
+        text = ('repro_q_total{query="a\\\\b\\"c\\nd"} 1\n')
+        (sample,) = parse_prometheus(text)
+        assert sample.label("query") == 'a\\b"c\nd'
+
+
+class TestHistogramQuantile:
+    BUCKETS = [(0.001, 10.0), (0.01, 60.0), (0.1, 100.0),
+               (float("inf"), 100.0)]
+
+    def test_interpolates_within_bucket(self):
+        # rank 50 falls in (0.001, 0.01]: 10 below, 60 at the bound.
+        p50 = histogram_quantile(0.5, self.BUCKETS)
+        assert p50 == pytest.approx(0.001 + (0.01 - 0.001) * 40 / 50)
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        assert histogram_quantile(1.0, self.BUCKETS) == 0.1
+
+    def test_empty_and_zero(self):
+        assert histogram_quantile(0.5, []) == 0.0
+        assert histogram_quantile(0.5, [(1.0, 0.0)]) == 0.0
+
+
+def scrape_text(completed, shed, buckets):
+    lines = [
+        "# HELP repro_requests_completed_total Requests completed.",
+        "# TYPE repro_requests_completed_total counter",
+        f"repro_requests_completed_total {completed}",
+        "# HELP repro_requests_shed_total Requests shed.",
+        "# TYPE repro_requests_shed_total counter",
+        f"repro_requests_shed_total {shed}",
+        "# HELP repro_request_latency_seconds Latency.",
+        "# TYPE repro_request_latency_seconds histogram",
+    ]
+    cumulative = 0
+    for bound, count in buckets:
+        cumulative += count
+        bound_text = "+Inf" if bound == float("inf") else repr(bound)
+        lines.append("repro_request_latency_seconds_bucket"
+                     f'{{le="{bound_text}"}} {cumulative}')
+    lines.append(f"repro_request_latency_seconds_sum 1.0")
+    lines.append(f"repro_request_latency_seconds_count {cumulative}")
+    return "\n".join(lines) + "\n"
+
+
+HEALTH = {"status": "healthy", "queue_depth": 2, "in_flight": 1,
+          "workers": [
+              {"index": 0, "alive": True, "breaker_state": "closed",
+               "queue_depth": 1, "completed": 9, "busy_seconds": 0.25},
+              {"index": 1, "alive": False, "breaker_state": "open",
+               "queue_depth": 0, "completed": 4, "busy_seconds": 0.10},
+          ],
+          "documents": {"documents": [
+              {"document": "xmark", "status": "healthy",
+               "breaker_state": "closed", "successes": 13,
+               "failures": 0},
+          ]}}
+
+
+class TestConsoleState:
+    def test_qps_is_delta_between_scrapes(self):
+        state = ConsoleState()
+        first = scrape_text(100, 0, [(0.01, 50), (float("inf"), 0)])
+        second = scrape_text(130, 6, [(0.01, 80), (float("inf"), 0)])
+        state.update(first, HEALTH, now=10.0)
+        table = state.update(second, HEALTH, now=13.0)
+        assert "qps=   10.0" in table          # (130-100)/3s
+        assert "shed/s=2.0" in table           # (6-0)/3s
+        assert "scrape #2" in table
+
+    def test_first_scrape_renders_without_rates(self):
+        state = ConsoleState()
+        table = state.update(
+            scrape_text(10, 0, [(0.01, 10), (float("inf"), 0)]),
+            HEALTH, now=5.0)
+        assert "scrape #1" in table
+        assert "qps=    0.0" in table
+        # Quantiles fall back to the cumulative distribution.
+        assert "p50=" in table
+
+    def test_worker_and_document_rows(self):
+        state = ConsoleState()
+        table = state.update(
+            scrape_text(1, 0, [(float("inf"), 1)]), HEALTH, now=0.0)
+        assert "worker   0 alive" in table
+        assert "worker   1 DEAD" in table
+        assert "breaker=open" in table
+        assert "doc xmark" in table
+        assert "status=healthy" in table
+
+    def test_shard_table_appears_with_cluster_series(self):
+        text = scrape_text(5, 0, [(float("inf"), 5)]) + "\n".join([
+            "# HELP repro_cluster_shard_latency_seconds Shard seconds.",
+            "# TYPE repro_cluster_shard_latency_seconds histogram",
+            'repro_cluster_shard_latency_seconds_bucket'
+            '{document="xmark",shard="0",le="0.01"} 4',
+            'repro_cluster_shard_latency_seconds_bucket'
+            '{document="xmark",shard="0",le="+Inf"} 5',
+            'repro_cluster_shard_latency_seconds_sum'
+            '{document="xmark",shard="0"} 0.05',
+            'repro_cluster_shard_latency_seconds_count'
+            '{document="xmark",shard="0"} 5',
+        ]) + "\n"
+        state = ConsoleState()
+        table = state.update(text, HEALTH, now=1.0)
+        assert "document" in table and "shard" in table
+        assert "xmark" in table

@@ -1,0 +1,87 @@
+"""FlightRecorder under concurrent ``record()`` / ``snapshot()``
+(satellite of the telemetry-plane PR): a thread hammer plus invariant
+checks — the recent ring stays bounded, the slowest-K heap is correctly
+ordered, and no snapshot is ever torn.
+"""
+
+import threading
+
+from repro.trace import FlightRecorder, Tracer
+
+
+def finished_trace(tag):
+    trace = Tracer().begin("request", tag=tag)
+    return trace.finish()
+
+
+def test_hammer_record_and_snapshot():
+    recent_cap, slowest_cap = 16, 8
+    recorder = FlightRecorder(recent=recent_cap, slowest=slowest_cap)
+    writers, per_writer = 8, 200
+    start = threading.Barrier(writers + 2)
+    stop = threading.Event()
+    failures = []
+
+    def write(worker):
+        start.wait()
+        for i in range(per_writer):
+            # Latencies collide across writers on purpose: tie-breaking
+            # inside the heap runs under contention.
+            latency = ((worker * per_writer + i) % 37) / 1000.0
+            recorder.record(finished_trace(f"{worker}/{i}"),
+                            latency=latency)
+
+    def observe():
+        start.wait()
+        while not stop.is_set():
+            snapshot = recorder.snapshot()
+            try:
+                check_snapshot(snapshot, recent_cap, slowest_cap)
+            except AssertionError as err:  # pragma: no cover - on bug
+                failures.append(err)
+                return
+
+    def check_snapshot(snapshot, recent_cap, slowest_cap):
+        # Ring bounded; retention never exceeds what was recorded.
+        assert len(snapshot.recent) <= recent_cap
+        assert len(snapshot.slowest) <= slowest_cap
+        assert snapshot.recorded >= len(snapshot.recent)
+        # Recent is oldest-first by sequence, no duplicates (not torn).
+        sequences = [entry.sequence for entry in snapshot.recent]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+        # Slowest is slowest-first; equal latencies keep the older one
+        # first (sequence ascending within a latency class).
+        latencies = [entry.latency for entry in snapshot.slowest]
+        assert latencies == sorted(latencies, reverse=True)
+        for earlier, later in zip(snapshot.slowest,
+                                  snapshot.slowest[1:]):
+            if earlier.latency == later.latency:
+                assert earlier.sequence < later.sequence
+        # Every retained entry is fully formed (no half-written rows).
+        for entry in (*snapshot.recent, *snapshot.slowest):
+            assert entry.trace.trace_id
+            assert entry.sequence >= 1
+
+    threads = [threading.Thread(target=write, args=(w,))
+               for w in range(writers)]
+    observers = [threading.Thread(target=observe) for _ in range(2)]
+    for thread in (*threads, *observers):
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stop.set()
+    for thread in observers:
+        thread.join()
+
+    assert not failures
+    final = recorder.snapshot()
+    check_snapshot(final, recent_cap, slowest_cap)
+    assert final.recorded == writers * per_writer
+    assert len(final.recent) == recent_cap
+    assert len(final.slowest) == slowest_cap
+    # The retained slowest really are the K largest latencies: with the
+    # modular latency schedule every class 0..36ms appears many times,
+    # so the K slowest must all come from the top classes.
+    floor = min(entry.latency for entry in final.slowest)
+    assert floor >= (37 - (slowest_cap + 1)) / 1000.0

@@ -1,0 +1,184 @@
+"""The live observability endpoint (``repro.serve.httpobs``): routes,
+formats, health semantics, and validator round-trips over both service
+shapes (thread-pool :class:`QueryService` and inline-transport
+:class:`ClusterService`).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.data import xmark_document
+from repro.serve import (DocumentCatalog, ObservabilityServer,
+                         QueryRequest, QueryService)
+from repro.serve.cluster import ClusterService
+from repro.trace import (FlightRecorder, Tracer, validate_chrome_trace,
+                         validate_prometheus)
+
+SITE_XML = ("<site><people>"
+            "<person><name>John</name><emailaddress>j@x</emailaddress>"
+            "</person><person><name>Mary</name></person>"
+            "</people></site>")
+QUERY = "$input//person[emailaddress]/name"
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers.get("Content-Type"), \
+            response.read().decode("utf-8")
+
+
+def get_error(url):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(url, timeout=10)
+    err = excinfo.value
+    return err.code, json.loads(err.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def service():
+    catalog = DocumentCatalog()
+    catalog.add_xml("site", SITE_XML)
+    service = QueryService(catalog, workers=2, tracer=Tracer(),
+                           flight_recorder=FlightRecorder())
+    try:
+        yield service
+    finally:
+        service.close()
+
+
+@pytest.fixture()
+def observed(service):
+    for _ in range(3):
+        response = service.submit(
+            QueryRequest(document="site", query=QUERY)).response(
+                timeout=30)
+        assert response.error is None
+    with ObservabilityServer(service) as obs:
+        yield obs
+
+
+class TestRoutes:
+    def test_index_lists_endpoints(self, observed):
+        status, content_type, body = get(observed.url + "/")
+        assert status == 200
+        assert "application/json" in content_type
+        assert "/metrics" in json.loads(body)["endpoints"]
+
+    def test_unknown_route_is_404(self, observed):
+        code, payload = get_error(observed.url + "/nope")
+        assert code == 404
+        assert "error" in payload
+
+    def test_metrics_passes_validator(self, observed):
+        status, content_type, body = get(observed.url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        validate_prometheus(body)
+        assert "repro_requests_completed_total 3" in body
+        assert "repro_request_latency_seconds_bucket" in body
+
+    def test_healthz_ok(self, observed):
+        status, _, body = get(observed.url + "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "healthy"
+        assert payload["counters"]["completed"] == 3
+        (doc,) = payload["documents"]["documents"]
+        assert doc["document"] == "site"
+
+    def test_flight_snapshot(self, observed):
+        status, _, body = get(observed.url + "/flight")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["recorded"] == 3
+        assert payload["recent"]
+
+    def test_trace_by_id_json_and_chrome(self, observed):
+        _, _, body = get(observed.url + "/flight")
+        trace_id = json.loads(body)["recent"][0]["trace"]["trace_id"]
+        status, _, body = get(observed.url + f"/traces/{trace_id}")
+        assert status == 200
+        assert json.loads(body)["trace_id"] == trace_id
+        status, _, body = get(
+            observed.url + f"/traces/{trace_id}?format=chrome")
+        assert status == 200
+        chrome = json.loads(body)
+        validate_chrome_trace(chrome)
+
+    def test_trace_unknown_id_is_404(self, observed):
+        code, payload = get_error(observed.url + "/traces/ffffffff")
+        assert code == 404
+        assert "not retained" in payload["error"]
+
+
+class TestUntracedService:
+    def test_flight_404_without_recorder(self):
+        catalog = DocumentCatalog()
+        catalog.add_xml("site", SITE_XML)
+        service = QueryService(catalog, workers=1)
+        try:
+            with ObservabilityServer(service) as obs:
+                code, payload = get_error(obs.url + "/flight")
+                assert code == 404
+                code, _payload = get_error(obs.url + "/traces/00000001")
+                assert code == 404
+                # /metrics still works without a tracer.
+                _status, _ctype, body = get(obs.url + "/metrics")
+                validate_prometheus(body)
+        finally:
+            service.close()
+
+
+class TestClusterEndpoint:
+    def test_cluster_metrics_and_healthz(self, tmp_path):
+        catalog = DocumentCatalog()
+        catalog.add_document("xmark", xmark_document(20, seed=5))
+        service = ClusterService.from_catalog(
+            catalog, directory=str(tmp_path), shard_count=2,
+            transport="inline", tracer=Tracer(),
+            flight_recorder=FlightRecorder())
+        try:
+            response = service.submit(QueryRequest(
+                document="xmark",
+                query="$input//person/name")).response(timeout=60)
+            assert response.error is None
+            with ObservabilityServer(service) as obs:
+                _status, _ctype, metrics = get(obs.url + "/metrics")
+                validate_prometheus(metrics)
+                assert "repro_cluster_worker_up" in metrics
+                assert "repro_cluster_worker_busy_seconds_total" \
+                    in metrics
+                assert "repro_cluster_shard_latency_seconds_bucket" \
+                    in metrics
+                status, _, body = get(obs.url + "/healthz")
+                payload = json.loads(body)
+                assert status == 200
+                assert payload["status"] == "healthy"
+                assert all(worker["alive"]
+                           for worker in payload["workers"])
+                assert {worker["index"]
+                        for worker in payload["workers"]} \
+                    == set(range(len(payload["workers"])))
+        finally:
+            service.close()
+
+    def test_healthz_degrades_on_dead_worker(self, tmp_path):
+        catalog = DocumentCatalog()
+        catalog.add_document("xmark", xmark_document(20, seed=5))
+        service = ClusterService.from_catalog(
+            catalog, directory=str(tmp_path), shard_count=2,
+            transport="inline")
+        try:
+            with ObservabilityServer(service) as obs:
+                # Close one inline transport out from under the
+                # coordinator: liveness must go false and /healthz 503.
+                service._workers[0]._closed = True
+                code, payload = get_error(obs.url + "/healthz")
+                assert code == 503
+                assert payload["status"] == "degraded"
+                assert payload["workers"][0]["alive"] is False
+        finally:
+            service.close()

@@ -1,0 +1,213 @@
+"""Distributed-trace stitching: context envelope, wire packing, and
+cross-process grafting (``repro.trace.distrib``).
+
+The invariants under test are the ones that keep a stitched trace
+honest across unrelated monotonic clocks: only relative offsets and
+durations cross the wire, the coordinator supplies every absolute
+anchor, grafted ids live in the destination trace's id space, buffer
+caps and the no-dropped-parent invariant survive the graft, and remote
+``op_stats`` merge under negative synthetic keys that can never collide
+with local ``id()`` keys.
+"""
+
+import pytest
+
+from repro.trace import Trace, Tracer, graft_remote, pack_trace
+from repro.trace.distrib import WIRE_VERSION, TraceContext
+
+
+def make_trace(clock=None, **kwargs):
+    tracer = Tracer(clock=clock) if clock is not None else Tracer()
+    return tracer.begin("request", **kwargs)
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+        return self.now
+
+
+# -- TraceContext ------------------------------------------------------------
+
+
+def test_context_round_trip():
+    context = TraceContext(trace_id="00000042", parent_span_id=7)
+    assert TraceContext.from_wire(context.to_wire()) == context
+
+
+@pytest.mark.parametrize("wire", [
+    None,
+    "not-a-dict",
+    {},
+    {"trace_id": "x"},
+    {"parent_span_id": 3},
+    {"trace_id": 17, "parent_span_id": 3},
+    {"trace_id": "x", "parent_span_id": "3"},
+])
+def test_context_malformed_means_unsampled(wire):
+    assert TraceContext.from_wire(wire) is None
+
+
+# -- pack_trace --------------------------------------------------------------
+
+
+def test_pack_trace_is_relative_only():
+    clock = FakeClock(5000.0)
+    trace = make_trace(clock=clock)
+    clock.advance(0.25)
+    with trace.span("execute", shard=2):
+        clock.advance(1.0)
+    trace.finish()
+    payload = pack_trace(trace)
+    assert payload["version"] == WIRE_VERSION
+    offsets = {record["name"]: record["offset"]
+               for record in payload["spans"]}
+    # The root is at offset zero and the child at its in-worker offset:
+    # no absolute worker clock value appears anywhere in the payload.
+    assert offsets["request"] == 0.0
+    assert offsets["execute"] == pytest.approx(0.25)
+    durations = {record["name"]: record["duration"]
+                 for record in payload["spans"]}
+    assert durations["execute"] == pytest.approx(1.0)
+    assert payload["duration"] == pytest.approx(1.25)
+    for record in payload["spans"]:
+        assert record["offset"] >= 0.0
+        assert record["duration"] >= 0.0
+
+
+def test_pack_trace_carries_op_stats_and_drops():
+    trace = make_trace()
+    trace.record_op(12345, "TupleTreePattern", 0.5, rows=10)
+    trace.record_op(12345, "TupleTreePattern", 0.25, rows=5)
+    trace.finish()
+    payload = pack_trace(trace)
+    (stat,) = payload["op_stats"]
+    assert stat["name"] == "TupleTreePattern"
+    assert stat["calls"] == 2
+    assert stat["rows"] == 15
+    assert stat["seconds"] == pytest.approx(0.75)
+
+
+# -- graft_remote ------------------------------------------------------------
+
+
+def remote_payload(clock_origin=9999.0):
+    """A two-level worker trace packed for the wire."""
+    clock = FakeClock(clock_origin)
+    trace = make_trace(clock=clock, worker=3)
+    clock.advance(0.1)
+    with trace.span("execute"):
+        clock.advance(0.2)
+        with trace.span("pattern:scjoin"):
+            clock.advance(0.3)
+        clock.advance(0.05)
+    trace.record_op(777, "Select", 0.2, rows=4)
+    trace.finish()
+    return pack_trace(trace)
+
+
+def test_graft_rebases_onto_coordinator_anchor():
+    clock = FakeClock(10.0)
+    trace = make_trace(clock=clock)
+    clock.advance(2.0)
+    stored = graft_remote(trace, remote_payload(), anchor=11.0,
+                          parent_id=trace.root.span_id,
+                          attrs={"worker": 3, "shard": 1})
+    assert stored == 3
+    by_name = {span.name: span for span in trace.spans
+               if span is not trace.root}
+    worker_root = by_name["worker"] if "worker" in by_name \
+        else by_name["request"]
+    # Anchored on the coordinator clock, never the worker's origin.
+    assert worker_root.start == pytest.approx(11.0)
+    assert by_name["execute"].start == pytest.approx(11.1)
+    assert by_name["pattern:scjoin"].start == pytest.approx(11.3)
+    # Attrs only decorate grafted top-level spans.
+    assert worker_root.attrs["shard"] == 1
+    assert "shard" not in by_name["execute"].attrs
+    # Parent chain: coordinator root -> worker root -> execute -> join.
+    assert worker_root.parent_id == trace.root.span_id
+    assert by_name["execute"].parent_id == worker_root.span_id
+    assert by_name["pattern:scjoin"].parent_id \
+        == by_name["execute"].span_id
+    # Remote ids were re-allocated in the destination id space.
+    ids = [span.span_id for span in trace.spans]
+    assert len(ids) == len(set(ids))
+
+
+def test_graft_never_produces_negative_offsets_under_skew():
+    # Worker clock origin wildly ahead of the coordinator's: offsets
+    # stay relative so the grafted spans still land at the anchor.
+    trace = make_trace(clock=FakeClock(1.0))
+    graft_remote(trace, remote_payload(clock_origin=1e9), anchor=1.5,
+                 parent_id=trace.root.span_id)
+    for span in trace.spans:
+        if span is trace.root:
+            continue
+        assert span.start >= trace.root.start
+
+
+def test_graft_version_mismatch_fails_loudly():
+    trace = make_trace()
+    payload = remote_payload()
+    payload["version"] = WIRE_VERSION + 1
+    with pytest.raises(ValueError, match="version"):
+        graft_remote(trace, payload, anchor=0.0,
+                     parent_id=trace.root.span_id)
+
+
+def test_graft_respects_max_spans_and_counts_drops():
+    trace = make_trace()
+    trace.max_spans = len(trace.spans) + 1
+    dropped_before = trace.dropped_spans
+    stored = graft_remote(trace, remote_payload(), anchor=0.0,
+                          parent_id=trace.root.span_id)
+    # Only the worker root fits; its descendants are dropped + counted.
+    assert stored == 1
+    assert trace.dropped_spans == dropped_before + 2
+
+
+def test_graft_drops_children_of_dropped_parents():
+    payload = remote_payload()
+    # Simulate a worker-side drop: the middle span is missing but its
+    # child still references it.
+    payload["spans"] = [record for record in payload["spans"]
+                       if record["name"] != "execute"]
+    payload["dropped_spans"] = 1
+    trace = make_trace()
+    stored = graft_remote(trace, payload, anchor=0.0,
+                          parent_id=trace.root.span_id)
+    assert stored == 1  # worker root only
+    names = {span.name for span in trace.spans}
+    assert "pattern:scjoin" not in names
+    # Worker-reported drop + the orphaned child dropped here.
+    assert trace.dropped_spans == 2
+    # No stored span references a missing parent.
+    ids = {span.span_id for span in trace.spans}
+    for span in trace.spans:
+        assert span.parent_id is None or span.parent_id in ids
+
+
+def test_remote_op_stats_merge_under_negative_keys():
+    trace = make_trace()
+    trace.record_op(424242, "Select", 0.1, rows=1)
+    graft_remote(trace, remote_payload(), anchor=0.0,
+                 parent_id=trace.root.span_id)
+    graft_remote(trace, remote_payload(), anchor=0.5,
+                 parent_id=trace.root.span_id)
+    local = [key for key in trace.op_stats if key > 0]
+    remote = [key for key in trace.op_stats if key < 0]
+    assert local == [424242]
+    assert len(remote) == 1  # one synthetic key per operator name
+    merged = trace.op_stats[remote[0]]
+    assert merged.name == "Select"
+    assert merged.calls == 2  # both grafts folded into the same stat
+    assert merged.seconds == pytest.approx(0.4)
+    # The local aggregate is untouched.
+    assert trace.op_stats[424242].calls == 1
